@@ -1,0 +1,132 @@
+// Command aqosd runs an AQoS broker as a SOAP-over-HTTP server — the
+// server half of the paper's Fig. 5 testbed (broker + registry behind one
+// endpoint). The capacity partition follows Algorithm 1's administrator
+// inputs: either explicit G/A/B node counts or a total with failure-rate
+// and best-effort fractions.
+//
+// Usage:
+//
+//	aqosd -listen :8080 -guaranteed 15 -adaptive 6 -besteffort 5
+//	aqosd -listen :8080 -total 26 -failure-rate 0.23 -besteffort-frac 0.19
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aqosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		domain     = flag.String("domain", "site-a", "administrative domain name")
+		guaranteed = flag.Float64("guaranteed", 0, "guaranteed-pool CPU nodes (C_G)")
+		adaptive   = flag.Float64("adaptive", 0, "adaptive-reserve CPU nodes (C_A)")
+		bestEffort = flag.Float64("besteffort", 0, "best-effort CPU nodes (C_B)")
+		total      = flag.Float64("total", 0, "total CPU nodes (alternative to explicit pools)")
+		failRate   = flag.Float64("failure-rate", 0.2, "expected failure/congestion rate sizing C_A (with -total)")
+		beFrac     = flag.Float64("besteffort-frac", 0.2, "best-effort fraction (with -total)")
+		memory     = flag.Float64("memory", 10240, "total memory MB (split pro rata)")
+		disk       = flag.Float64("disk", 200, "total disk GB (split pro rata)")
+		confirm    = flag.Duration("confirm-window", 2*time.Minute, "offer confirmation window")
+		monitor    = flag.Duration("monitor-interval", time.Minute, "periodic QoS-management interval (0 disables)")
+		service    = flag.String("service", "simulation", "name of the advertised service")
+		peers      peerFlags
+	)
+	flag.Var(&peers, "peer", "neighboring AQoS endpoint as name=url (repeatable); requests this domain cannot serve are forwarded")
+	flag.Parse()
+
+	var plan gqosm.CapacityPlan
+	switch {
+	case *total > 0:
+		p, err := gqosm.PlanForFailureRate(gqosm.Capacity{
+			CPU: *total, MemoryMB: *memory, DiskGB: *disk,
+		}, *failRate, *beFrac)
+		if err != nil {
+			return err
+		}
+		plan = p
+	case *guaranteed > 0:
+		sum := *guaranteed + *adaptive + *bestEffort
+		plan = gqosm.CapacityPlan{
+			Guaranteed: gqosm.Capacity{CPU: *guaranteed, MemoryMB: *memory * *guaranteed / sum, DiskGB: *disk * *guaranteed / sum},
+			Adaptive:   gqosm.Capacity{CPU: *adaptive, MemoryMB: *memory * *adaptive / sum, DiskGB: *disk * *adaptive / sum},
+			BestEffort: gqosm.Capacity{CPU: *bestEffort, MemoryMB: *memory * *bestEffort / sum, DiskGB: *disk * *bestEffort / sum},
+		}
+	default:
+		return fmt.Errorf("specify either -total or -guaranteed/-adaptive/-besteffort")
+	}
+
+	stack, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain:          *domain,
+		Plan:            plan,
+		ConfirmWindow:   *confirm,
+		MonitorInterval: *monitor,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	_ = service // the default stack advertisement covers the service name
+
+	mux := stack.Mount()
+	if len(peers) > 0 {
+		fed := core.NewFederation(stack.Broker)
+		for _, p := range peers {
+			fed.AddPeer(&core.PeerClient{Domain: p.name, Client: core.NewClient(p.url)})
+			log.Printf("aqosd: neighboring AQoS %q at %s", p.name, p.url)
+		}
+		fed.Mount(mux)
+	}
+	httpMux := http.NewServeMux()
+	httpMux.Handle("/", mux)
+	httpMux.HandleFunc("/log", func(w http.ResponseWriter, _ *http.Request) {
+		for _, e := range stack.Broker.Events() {
+			fmt.Fprintln(w, e)
+		}
+	})
+	httpMux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		for _, u := range stack.Broker.Allocator().Snapshot() {
+			fmt.Fprintf(w, "pool %s: capacity=%v guaranteed=%v best-effort=%v free=%v offline=%v\n",
+				u.Pool, u.Capacity, u.Guaranteed, u.BestEffort, u.Free(), u.Offline)
+		}
+	})
+
+	log.Printf("aqosd: domain %q serving on %s (plan G=%v A=%v B=%v)",
+		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort)
+	return http.ListenAndServe(*listen, httpMux)
+}
+
+// peerFlags collects repeated -peer name=url flags.
+type peerFlags []struct{ name, url string }
+
+func (p *peerFlags) String() string {
+	var parts []string
+	for _, e := range *p {
+		parts = append(parts, e.name+"="+e.url)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *peerFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("peer must be name=url, got %q", v)
+	}
+	*p = append(*p, struct{ name, url string }{name, url})
+	return nil
+}

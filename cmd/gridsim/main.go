@@ -1,0 +1,341 @@
+// Command gridsim regenerates the repository's experiments (DESIGN.md §4):
+// every table and figure artifact of the paper plus the claim experiments
+// C1–C5. Each experiment prints the rows the corresponding section of
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	gridsim -experiment E56          # §5.6 worked-example timeline
+//	gridsim -experiment C1           # utilization: adaptive vs static
+//	gridsim -experiment C2           # failure survival: reserve vs none
+//	gridsim -experiment C3           # best-effort floor
+//	gridsim -experiment C4           # optimizer profit vs baselines
+//	gridsim -experiment C5           # scenario-1 admission gain
+//	gridsim -experiment T1|T3|T4     # the paper's XML artifacts
+//	gridsim -experiment T2           # GARA API lifecycle transcript
+//	gridsim -experiment F4|F6        # broker interaction transcript
+//	gridsim -experiment all          # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/gara"
+	"gqosm/internal/resource"
+	"gqosm/internal/sim"
+	"gqosm/internal/sla"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (E56, C1..C5, T1..T4, F4, F6, all)")
+		seed       = flag.Int64("seed", 2003, "workload seed")
+		verbose    = flag.Bool("v", false, "include broker activity logs")
+	)
+	flag.Parse()
+
+	runners := map[string]func(int64, bool) error{
+		"E56": runE56,
+		"C1":  runC1,
+		"C2":  runC2,
+		"C3":  runC3,
+		"C4":  runC4,
+		"C5":  runC5,
+		"T1":  runT1,
+		"T2":  runT2,
+		"T3":  runT3,
+		"T4":  runT4,
+		"F4":  runF4,
+		"F6":  runF6,
+	}
+	id := strings.ToUpper(*experiment)
+	if id == "ALL" {
+		for _, key := range []string{"T1", "T2", "T3", "T4", "F4", "F6", "E56", "C1", "C2", "C3", "C4", "C5"} {
+			if err := runners[key](*seed, *verbose); err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return r(*seed, *verbose)
+}
+
+func header(id, title string) {
+	fmt.Printf("\n=== %s — %s ===\n\n", id, title)
+}
+
+func runE56(_ int64, verbose bool) error {
+	header("E56", "§5.6 worked example: composite SLA, failure at t2, recovery at t3")
+	res, err := sim.RunE56()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	fmt.Printf("\nnetwork sub-SLAs whole until expiry: %v\n", res.NetworkOK)
+	fmt.Printf("best-effort preemptions during failure: %d\n", res.Preemptions)
+	if verbose {
+		fmt.Println("\nbroker activity log:")
+		for _, line := range res.Log {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}
+
+func runC1(seed int64, _ bool) error {
+	header("C1", "utilization & admission: adaptive borrowing vs rigid partition")
+	rows, err := sim.RunC1(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatC1(rows))
+	return nil
+}
+
+func runC2(seed int64, _ bool) error {
+	header("C2", "guarantee survival under failures: adaptive reserve vs no reserve")
+	rows, err := sim.RunC2(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatC2(rows))
+	return nil
+}
+
+func runC3(seed int64, _ bool) error {
+	header("C3", "best-effort minimum capacity under guaranteed saturation")
+	rows, err := sim.RunC3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatC3(rows))
+	return nil
+}
+
+func runC4(seed int64, _ bool) error {
+	header("C4", "optimizer profit: greedy vs exact vs first-fit vs minimum")
+	rows, err := sim.RunC4(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatC4(rows))
+	return nil
+}
+
+func runC5(seed int64, _ bool) error {
+	header("C5", "scenario-1 compensation: admissions vs willingness to degrade")
+	rows, err := sim.RunC5(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatC5(rows))
+	return nil
+}
+
+func runT1(_ int64, _ bool) error {
+	header("T1", "Table 1 — SLA resource portion relayed to resource managers")
+	spec := gqosm.NewSpec(
+		gqosm.Exact(gqosm.CPU, 4),
+		gqosm.Exact(gqosm.MemoryMB, 64),
+		gqosm.Exact(gqosm.BandwidthMbps, 10),
+	)
+	spec.SourceIP = "192.200.168.33"
+	spec.DestIP = "135.200.50.101"
+	spec.MaxPacketLossPct = 10
+	doc := sla.EncodeServiceSpecific(spec, resource.Capacity{CPU: 4, MemoryMB: 64, BandwidthMbps: 10})
+	out, err := sla.MarshalIndent(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func runT2(_ int64, _ bool) error {
+	header("T2", "Table 2 — GARA reservation primitives, lifecycle transcript")
+	stack, err := newPaperStack()
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	now := stack.Clock.Now()
+	req := `&(reservation-type="compute")(count=10)(memory=2048)(disk=15)`
+	handle, err := stack.GARA.Create(req, now, now.Add(5*time.Hour), "demo")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("globus_gara_reservation_create(%q)\n  -> handle %s\n", req, handle)
+	if err := stack.GARA.Bind(handle, gara.BindParam{PID: 4242}); err != nil {
+		return err
+	}
+	fmt.Printf("globus_gara_reservation_bind(%s, pid=4242)\n  -> claimed\n", handle)
+	if err := stack.GARA.Unbind(handle); err != nil {
+		return err
+	}
+	fmt.Printf("globus_gara_reservation_unbind(%s)\n  -> reserved\n", handle)
+	if err := stack.GARA.Cancel(handle); err != nil {
+		return err
+	}
+	fmt.Printf("globus_gara_reservation_cancel(%s)\n  -> released\n", handle)
+	return nil
+}
+
+func runT3(_ int64, _ bool) error {
+	header("T3", "Table 3 — SLA conformance test reply (QoS_Levels)")
+	res, err := withLifecycleSession(func(stack *gqosm.Stack, id gqosm.SLAID) (any, error) {
+		rep, err := stack.Broker.Verify(id)
+		if err != nil {
+			return nil, err
+		}
+		return sla.MarshalIndent(rep.XML)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(res.([]byte)))
+	return nil
+}
+
+func runT4(_ int64, _ bool) error {
+	header("T4", "Table 4 — negotiated SLA with adaptation options")
+	stack, err := newPaperStack()
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	now := stack.Clock.Now()
+	offer, err := stack.Broker.RequestService(gqosm.Request{
+		Service: "simulation",
+		Client:  "controlled-client",
+		Class:   gqosm.ClassControlledLoad,
+		Spec: gqosm.NewSpec(
+			gqosm.Range(gqosm.CPU, 10, 15),
+			gqosm.Range(gqosm.MemoryMB, 48, 64),
+		),
+		Start:             now,
+		End:               now.Add(5 * time.Hour),
+		AcceptDegradation: true,
+		PromotionOptIn:    true,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := sla.MarshalIndent(sla.EncodeDocument(offer.SLA))
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func runF4(_ int64, _ bool) error {
+	header("F4", "Fig. 4 — the five QoS management phases in one session")
+	_, err := withLifecycleSession(func(stack *gqosm.Stack, id gqosm.SLAID) (any, error) {
+		// Degrade by failing capacity, then recover (phases 3–5).
+		stack.Broker.NotifyFailure(gqosm.Nodes(3))
+		if _, err := stack.Broker.Verify(id); err != nil {
+			return nil, err
+		}
+		stack.Broker.NotifyFailure(gqosm.Capacity{})
+		if err := stack.Broker.Terminate(id, "session complete"); err != nil {
+			return nil, err
+		}
+		for _, e := range stack.Broker.Events() {
+			fmt.Println("  " + e.String())
+		}
+		return nil, nil
+	})
+	return err
+}
+
+func runF6(_ int64, _ bool) error {
+	header("F6", "Figs. 6–7 — broker activity and client transcript")
+	stack, err := newPaperStack()
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	now := stack.Clock.Now()
+	offer, err := stack.Broker.RequestService(gqosm.Request{
+		Service: "simulation", Client: "fig7-client", Class: gqosm.ClassGuaranteed,
+		Spec:  gqosm.NewSpec(gqosm.Exact(gqosm.CPU, 10), gqosm.Exact(gqosm.MemoryMB, 2048), gqosm.Exact(gqosm.DiskGB, 15)),
+		Start: now, End: now.Add(5 * time.Hour),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client> service_request (10 CPU, 2048 MB, 15 GB)\n")
+	fmt.Printf("aqos > service_offer: SLA %s at price %.2f\n", offer.SLA.ID, offer.Price)
+	if err := stack.Broker.Accept(offer.SLA.ID); err != nil {
+		return err
+	}
+	fmt.Printf("client> accept %s\n", offer.SLA.ID)
+	if _, err := stack.Broker.Invoke(offer.SLA.ID); err != nil {
+		return err
+	}
+	rep, err := stack.Broker.Verify(offer.SLA.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client> verify %s\naqos > conforms=%v\n\nbroker activity log:\n", offer.SLA.ID, rep.Conforms)
+	for _, e := range stack.Broker.Events() {
+		fmt.Println("  " + e.String())
+	}
+	return nil
+}
+
+// newPaperStack builds the §5.6-sized stack on a manual clock.
+func newPaperStack() (*gqosm.Stack, error) {
+	return gqosm.NewStack(gqosm.StackConfig{
+		Domain: "site-a",
+		Clock:  gqosm.NewManualClock(sim.Epoch),
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Capacity{CPU: 15, MemoryMB: 6144, DiskGB: 120},
+			Adaptive:   gqosm.Capacity{CPU: 6, MemoryMB: 2048, DiskGB: 40},
+			BestEffort: gqosm.Capacity{CPU: 5, MemoryMB: 2048, DiskGB: 40},
+		},
+		ConfirmWindow: time.Hour,
+	})
+}
+
+// withLifecycleSession establishes and invokes a standard guaranteed
+// session, then hands it to f.
+func withLifecycleSession(f func(*gqosm.Stack, gqosm.SLAID) (any, error)) (any, error) {
+	stack, err := newPaperStack()
+	if err != nil {
+		return nil, err
+	}
+	defer stack.Close()
+	now := stack.Clock.Now()
+	offer, err := stack.Broker.RequestService(gqosm.Request{
+		Service: "simulation", Client: "lifecycle", Class: gqosm.ClassGuaranteed,
+		Spec:  gqosm.NewSpec(gqosm.Exact(gqosm.CPU, 10), gqosm.Exact(gqosm.MemoryMB, 2048), gqosm.Exact(gqosm.DiskGB, 15)),
+		Start: now, End: now.Add(5 * time.Hour),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := stack.Broker.Accept(offer.SLA.ID); err != nil {
+		return nil, err
+	}
+	if _, err := stack.Broker.Invoke(offer.SLA.ID); err != nil {
+		return nil, err
+	}
+	return f(stack, offer.SLA.ID)
+}

@@ -1,0 +1,243 @@
+// Command qosctl is the client-side counterpart of the paper's Fig. 7
+// client interface: it sends service_request messages to an AQoS broker
+// over SOAP/HTTP and performs the client actions — request a service with
+// QoS properties, accept or reject SLA offers, invoke or terminate the
+// service, request an explicit SLA verification test, and ask for
+// best-effort capacity.
+//
+// Usage:
+//
+//	qosctl -broker http://localhost:8080 request -service simulation \
+//	        -class guaranteed -cpu 10 -memory 2048 -disk 15 -hours 5
+//	qosctl -broker http://localhost:8080 accept  -sla site-a-sla-0001
+//	qosctl -broker http://localhost:8080 reject  -sla site-a-sla-0001
+//	qosctl -broker http://localhost:8080 invoke  -sla site-a-sla-0001
+//	qosctl -broker http://localhost:8080 verify  -sla site-a-sla-0001
+//	qosctl -broker http://localhost:8080 terminate -sla site-a-sla-0001
+//	qosctl -broker http://localhost:8080 renegotiate -sla site-a-sla-0001 -cpu 12
+//	qosctl -broker http://localhost:8080 besteffort -client me -cpu 4
+package main
+
+import (
+	"encoding/xml"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/core"
+	"gqosm/internal/sla"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("qosctl", flag.ContinueOnError)
+	broker := global.String("broker", "http://localhost:8080", "AQoS broker endpoint")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort")
+	}
+	client := gqosm.NewBrokerClient(*broker)
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "request":
+		return doRequest(client, rest)
+	case "accept", "reject", "invoke", "terminate", "accept_promotion":
+		return doAction(client, cmd, rest)
+	case "renegotiate":
+		return doRenegotiate(client, rest)
+	case "verify":
+		return doVerify(client, rest)
+	case "besteffort":
+		return doBestEffort(client, rest)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func doRequest(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("request", flag.ContinueOnError)
+	var (
+		service  = fs.String("service", "simulation", "service name")
+		clientID = fs.String("client", "qosctl", "client identity")
+		class    = fs.String("class", "guaranteed", "QoS class: guaranteed | controlled-load")
+		cpu      = fs.Float64("cpu", 0, "CPU nodes (exact, or max with -cpu-min)")
+		cpuMin   = fs.Float64("cpu-min", 0, "minimum CPU nodes (controlled-load range)")
+		memory   = fs.Float64("memory", 0, "memory MB")
+		disk     = fs.Float64("disk", 0, "disk GB")
+		bw       = fs.Float64("bandwidth", 0, "bandwidth Mbps")
+		src      = fs.String("source-ip", "", "flow source IP")
+		dst      = fs.String("dest-ip", "", "flow destination IP")
+		hours    = fs.Float64("hours", 1, "reservation length in hours")
+		budget   = fs.Float64("budget", 0, "budget cap (0 = none)")
+		degrade  = fs.Bool("accept-degradation", false, "willing to degrade (scenario 1)")
+		promo    = fs.Bool("promotions", false, "opt in to promotion offers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cls, err := sla.ParseClass(*class)
+	if err != nil {
+		return err
+	}
+	var params []gqosm.Param
+	if *cpu > 0 {
+		if *cpuMin > 0 {
+			params = append(params, gqosm.Range(gqosm.CPU, *cpuMin, *cpu))
+		} else {
+			params = append(params, gqosm.Exact(gqosm.CPU, *cpu))
+		}
+	}
+	if *memory > 0 {
+		params = append(params, gqosm.Exact(gqosm.MemoryMB, *memory))
+	}
+	if *disk > 0 {
+		params = append(params, gqosm.Exact(gqosm.DiskGB, *disk))
+	}
+	if *bw > 0 {
+		params = append(params, gqosm.Exact(gqosm.BandwidthMbps, *bw))
+	}
+	spec := gqosm.NewSpec(params...)
+	spec.SourceIP, spec.DestIP = *src, *dst
+
+	now := time.Now()
+	offer, err := client.RequestService(gqosm.Request{
+		Service:           *service,
+		Client:            *clientID,
+		Class:             cls,
+		Spec:              spec,
+		Start:             now,
+		End:               now.Add(time.Duration(*hours * float64(time.Hour))),
+		Budget:            *budget,
+		AcceptDegradation: *degrade,
+		PromotionOptIn:    *promo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offer: SLA %s, price %.2f, expires %s\n", offer.SLA.SLAID, offer.Price, offer.Expires)
+	out, err := xml.MarshalIndent(offer.SLA, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func doAction(client *core.Client, action string, args []string) error {
+	fs := flag.NewFlagSet(action, flag.ContinueOnError)
+	id := fs.String("sla", "", "SLA ID")
+	reason := fs.String("reason", "", "reason (terminate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-sla is required")
+	}
+	detail, err := client.Act(sla.ID(*id), action, *reason)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok", action)
+	if detail != "" {
+		fmt.Printf(" (%s)", detail)
+	}
+	fmt.Println()
+	return nil
+}
+
+func doRenegotiate(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("renegotiate", flag.ContinueOnError)
+	var (
+		id     = fs.String("sla", "", "SLA ID")
+		cpu    = fs.Float64("cpu", 0, "new CPU nodes (exact, or max with -cpu-min)")
+		cpuMin = fs.Float64("cpu-min", 0, "minimum CPU nodes (controlled-load range)")
+		memory = fs.Float64("memory", 0, "new memory MB")
+		disk   = fs.Float64("disk", 0, "new disk GB")
+		bw     = fs.Float64("bandwidth", 0, "new bandwidth Mbps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-sla is required")
+	}
+	var params []gqosm.Param
+	if *cpu > 0 {
+		if *cpuMin > 0 {
+			params = append(params, gqosm.Range(gqosm.CPU, *cpuMin, *cpu))
+		} else {
+			params = append(params, gqosm.Exact(gqosm.CPU, *cpu))
+		}
+	}
+	if *memory > 0 {
+		params = append(params, gqosm.Exact(gqosm.MemoryMB, *memory))
+	}
+	if *disk > 0 {
+		params = append(params, gqosm.Exact(gqosm.DiskGB, *disk))
+	}
+	if *bw > 0 {
+		params = append(params, gqosm.Exact(gqosm.BandwidthMbps, *bw))
+	}
+	detail, err := client.Renegotiate(sla.ID(*id), gqosm.NewSpec(params...))
+	if err != nil {
+		return err
+	}
+	fmt.Println("renegotiated:", detail)
+	return nil
+}
+
+func doVerify(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	id := fs.String("sla", "", "SLA ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-sla is required")
+	}
+	levels, err := client.Verify(sla.ID(*id))
+	if err != nil {
+		return err
+	}
+	out, err := xml.MarshalIndent(levels, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func doBestEffort(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("besteffort", flag.ContinueOnError)
+	var (
+		clientID = fs.String("client", "qosctl", "client identity")
+		cpu      = fs.Float64("cpu", 0, "CPU nodes")
+		memory   = fs.Float64("memory", 0, "memory MB")
+		disk     = fs.Float64("disk", 0, "disk GB")
+		release  = fs.Bool("release", false, "release held capacity instead")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	amount := gqosm.Capacity{CPU: *cpu, MemoryMB: *memory, DiskGB: *disk}
+	if err := client.BestEffort(*clientID, amount, *release); err != nil {
+		return err
+	}
+	if *release {
+		fmt.Println("released")
+	} else {
+		fmt.Printf("granted %v\n", amount)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gqosm/internal/clockx"
+	"gqosm/internal/registry"
+)
+
+const seedXML = `<serviceList>
+  <Service>
+    <Name>MatrixSolver</Name>
+    <Provider>site-a</Provider>
+    <PropertyBag>
+      <Property name="cpu-nodes" type="number">26</Property>
+      <Property name="os" type="string">linux</Property>
+    </PropertyBag>
+  </Service>
+  <Service>
+    <Name>Visualizer</Name>
+    <PropertyBag>
+      <Property name="bandwidth-mbps" type="number">45</Property>
+    </PropertyBag>
+  </Service>
+</serviceList>`
+
+func TestSeedFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "services.xml")
+	if err := os.WriteFile(path, []byte(seedXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(clockx.Real())
+	n, err := seedFromFile(reg, path)
+	if err != nil {
+		t.Fatalf("seedFromFile: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("seeded %d, want 2", n)
+	}
+	found, err := reg.Find(registry.Query{
+		Filters: []registry.Filter{{Name: "cpu-nodes", Op: registry.OpGe, Value: "10"}},
+	})
+	if err != nil || len(found) != 1 || found[0].Name != "MatrixSolver" {
+		t.Fatalf("Find = %v, %v", found, err)
+	}
+}
+
+func TestSeedFromFileErrors(t *testing.T) {
+	reg := registry.New(clockx.Real())
+	if _, err := seedFromFile(reg, filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.xml")
+	if err := os.WriteFile(bad, []byte("<not-a-list/"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedFromFile(reg, bad); err == nil {
+		t.Error("malformed XML accepted")
+	}
+	// A service entry the registry rejects (no name) stops the seed.
+	nameless := filepath.Join(t.TempDir(), "nameless.xml")
+	if err := os.WriteFile(nameless, []byte(`<serviceList><Service><Name></Name></Service></serviceList>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedFromFile(reg, nameless); err == nil {
+		t.Error("nameless service accepted")
+	}
+}

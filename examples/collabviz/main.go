@@ -1,0 +1,152 @@
+// Collabviz replays the paper's §5.6 collaborative-visualization
+// experiment through the public API: scientists at site A run a simulation
+// on the SGI machine, the input database lives at site B (622 Mbps link),
+// a second group watches from site C (45 Mbps link). A composite SLA is
+// negotiated as three sub-SLAs; at t2 three guaranteed-pool processors
+// fail and the adaptive reserve keeps SLA_comp whole; at t3 they recover;
+// at t4 the SLA expires and the capacity flows back to best-effort users.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gqosm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+	hour := func(h int) time.Time { return start.Add(time.Duration(h) * time.Hour) }
+
+	// Three sites, two provisioned links.
+	topo := gqosm.NewTopology()
+	for _, d := range []struct{ name, cidr string }{
+		{"site-a", "192.200.168.0/24"},
+		{"site-b", "135.200.50.0/24"},
+		{"site-c", "10.10.0.0/16"},
+	} {
+		if err := topo.AddDomain(d.name, d.cidr); err != nil {
+			return err
+		}
+	}
+	if err := topo.AddLink("site-a", "site-b", 1000); err != nil {
+		return err
+	}
+	if err := topo.AddLink("site-a", "site-c", 100); err != nil {
+		return err
+	}
+
+	clock := gqosm.NewManualClock(start)
+	stack, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "site-a",
+		Clock:  clock,
+		Plan: gqosm.CapacityPlan{ // the administrator's 15+6+5 partition
+			Guaranteed: gqosm.Capacity{CPU: 15, MemoryMB: 6144, DiskGB: 120, BandwidthMbps: 700},
+			Adaptive:   gqosm.Capacity{CPU: 6, MemoryMB: 2048, DiskGB: 40, BandwidthMbps: 200},
+			BestEffort: gqosm.Capacity{CPU: 5, MemoryMB: 2048, DiskGB: 40, BandwidthMbps: 200},
+		},
+		Topology:      topo,
+		ConfirmWindow: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	b := stack.Broker
+
+	establish := func(req gqosm.Request) (gqosm.SLAID, error) {
+		offer, err := b.RequestService(req)
+		if err != nil {
+			return "", err
+		}
+		if err := b.Accept(offer.SLA.ID); err != nil {
+			return "", err
+		}
+		fmt.Printf("established %s for %q: %v at %.2f\n",
+			offer.SLA.ID, req.Client, offer.SLA.Allocated, offer.Price)
+		return offer.SLA.ID, nil
+	}
+
+	// The composite SLA's three halves (§5.6): SLA_net1, SLA_net2,
+	// SLA_comp.
+	net1 := gqosm.NewSpec(gqosm.Exact(gqosm.BandwidthMbps, 622))
+	net1.SourceIP, net1.DestIP = "135.200.50.101", "192.200.168.33"
+	if _, err := establish(gqosm.Request{
+		Service: "simulation", Client: "SLA_net1 (site B -> A)", Class: gqosm.ClassGuaranteed,
+		Spec: net1, Start: hour(0), End: hour(5),
+	}); err != nil {
+		return err
+	}
+	net2 := gqosm.NewSpec(gqosm.Exact(gqosm.BandwidthMbps, 45))
+	net2.SourceIP, net2.DestIP = "10.10.3.4", "192.200.168.33"
+	if _, err := establish(gqosm.Request{
+		Service: "simulation", Client: "SLA_net2 (site C -> A)", Class: gqosm.ClassGuaranteed,
+		Spec: net2, Start: hour(0), End: hour(5),
+	}); err != nil {
+		return err
+	}
+	comp, err := establish(gqosm.Request{
+		Service: "simulation", Client: "SLA_comp (10 nodes at site A)", Class: gqosm.ClassGuaranteed,
+		Spec: gqosm.NewSpec(
+			gqosm.Exact(gqosm.CPU, 10),
+			gqosm.Exact(gqosm.MemoryMB, 2048),
+			gqosm.Exact(gqosm.DiskGB, 15),
+		),
+		Start: hour(0), End: hour(4),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Best-effort users soak up the idle capacity.
+	if err := b.BestEffortRequest("local-students", gqosm.Nodes(11)); err != nil {
+		return err
+	}
+	printPools(stack, "t0: all SLAs active, best effort borrowing 11 nodes")
+
+	// t2: three guaranteed-pool processors become inaccessible.
+	clock.Set(hour(2))
+	pre := b.NotifyFailure(gqosm.Nodes(3))
+	printPools(stack, fmt.Sprintf("t2: 3 processors fail (best-effort preemptions: %d)", len(pre)))
+	doc, err := b.Session(comp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("     SLA_comp still holds %v — the adaptive reserve absorbed the failure\n", doc.Allocated)
+
+	// t3: recovery.
+	clock.Set(hour(3))
+	b.NotifyFailure(gqosm.Capacity{})
+	printPools(stack, "t3: processors recover")
+
+	// t4: SLA_comp completes its validity period.
+	clock.Set(hour(4))
+	b.ExpireDue()
+	if avail := b.Allocator().AvailableBestEffort(); avail.CPU > 0 {
+		_ = b.BestEffortRequest("local-students-2", gqosm.Nodes(avail.CPU))
+	}
+	printPools(stack, "t4: SLA_comp expired; nodes returned to best effort")
+
+	// t5: everything clears.
+	clock.Set(hour(5))
+	b.ExpireDue()
+	printPools(stack, "t5: network sub-SLAs expired")
+
+	fmt.Printf("\nprovider revenue: %.2f\n", b.Ledger().NetRevenue())
+	return nil
+}
+
+func printPools(stack *gqosm.Stack, label string) {
+	fmt.Printf("\n%s\n", label)
+	for _, u := range stack.Broker.Allocator().Snapshot() {
+		fmt.Printf("  pool %s: guaranteed=%-4g best-effort=%-4g free=%-4g offline=%g (CPU nodes)\n",
+			u.Pool, u.Guaranteed.CPU, u.BestEffort.CPU, u.Free().CPU, u.Offline.CPU)
+	}
+}

@@ -1,0 +1,132 @@
+// Degradation demonstrates scenario 3 (§4): a guaranteed session's network
+// QoS collapses when its link congests; the NRM notifies the broker's
+// SLA-Verif hook, a violation is recorded and the session switches to its
+// negotiated alternative QoS; when the congestion clears the broker
+// restores the agreed quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/nrm"
+	"gqosm/internal/sla"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+	topo := gqosm.NewTopology()
+	if err := topo.AddDomain("site-a", "192.200.168.0/24"); err != nil {
+		return err
+	}
+	if err := topo.AddDomain("site-c", "10.10.0.0/16"); err != nil {
+		return err
+	}
+	if err := topo.AddLink("site-a", "site-c", 100); err != nil {
+		return err
+	}
+
+	clock := gqosm.NewManualClock(start)
+	stack, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "site-a",
+		Clock:  clock,
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Capacity{CPU: 15, BandwidthMbps: 70},
+			Adaptive:   gqosm.Capacity{CPU: 6, BandwidthMbps: 20},
+			BestEffort: gqosm.Capacity{CPU: 5, BandwidthMbps: 10},
+		},
+		Topology:      topo,
+		ConfirmWindow: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	b := stack.Broker
+
+	// A guaranteed visualization stream: 45 Mbps from site C, willing to
+	// fall back to a degraded alternative.
+	spec := gqosm.NewSpec(gqosm.Exact(gqosm.BandwidthMbps, 45))
+	spec.SourceIP, spec.DestIP = "10.10.3.4", "192.200.168.33"
+	spec.MaxPacketLossPct = 10
+	offer, err := b.RequestService(gqosm.Request{
+		Service:           "simulation",
+		Client:            "viz-stream",
+		Class:             gqosm.ClassGuaranteed,
+		Spec:              spec,
+		Start:             start,
+		End:               start.Add(5 * time.Hour),
+		AcceptDegradation: true,
+	})
+	if err != nil {
+		return err
+	}
+	id := offer.SLA.ID
+	if err := b.Accept(id); err != nil {
+		return err
+	}
+	if _, err := b.Invoke(id); err != nil {
+		return err
+	}
+	fmt.Printf("session %s active at %v\n", id, offer.SLA.Allocated)
+
+	// The C—A link congests to 40% of nominal.
+	if err := topo.SetCongestion("site-a", "site-c", nrm.Congestion{
+		BandwidthFactor: 0.4, ExtraDelayMS: 30, LossPct: 15,
+	}); err != nil {
+		return err
+	}
+	clock.Advance(30 * time.Minute)
+
+	// The NRM's periodic check detects the shortfall and notifies the
+	// broker (the §3.2 degradation notification).
+	degraded := stack.NRM.CheckAll(clock.Now())
+	fmt.Printf("\nNRM check: %d degraded flow(s)\n", len(degraded))
+	for _, m := range degraded {
+		fmt.Printf("  flow %s delivering %.1f Mbps (delay %.0f ms, loss %.0f%%)\n",
+			m.FlowID, m.BandwidthMbps, m.DelayMS, m.LossPct)
+	}
+
+	doc, err := b.Session(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session state after notification: %s (violations: %d)\n",
+		doc.State, b.Violations(id))
+
+	// An explicit client-side conformance test shows the measured levels
+	// (Table 3).
+	rep, err := b.Verify(id)
+	if err != nil {
+		return err
+	}
+	out, err := sla.MarshalIndent(rep.XML)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconformance reply during congestion:\n%s\n", out)
+
+	// Congestion clears; the broker restores the agreed QoS on its next
+	// adaptation pass.
+	if err := topo.SetCongestion("site-a", "site-c", nrm.Congestion{}); err != nil {
+		return err
+	}
+	clock.Advance(30 * time.Minute)
+	if rep, err := b.Verify(id); err == nil {
+		fmt.Printf("after recovery: conforms=%v measured=%v\n", rep.Conforms, rep.Measured)
+	}
+
+	fmt.Println("\nbroker activity log:")
+	for _, e := range b.Events() {
+		fmt.Println("  " + e.String())
+	}
+	return nil
+}

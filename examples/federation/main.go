@@ -1,0 +1,111 @@
+// Federation demonstrates the Fig. 1 multi-domain architecture: two
+// administrative domains, each with its own AQoS broker, resource manager
+// and registry. The client talks to its home domain; requests the home
+// domain cannot serve — an unadvertised service, or more capacity than the
+// local guaranteed pool holds — are forwarded to the neighboring AQoS, and
+// the winning domain's offer comes back annotated with where to conclude
+// the SLA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/core"
+	"gqosm/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+
+	// Domain 1: a small departmental cluster advertising "solver".
+	home, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "domain1",
+		Clock:  gqosm.NewManualClock(start),
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Nodes(12),
+			Adaptive:   gqosm.Nodes(4),
+			BestEffort: gqosm.Nodes(4),
+		},
+		Services: []registry.Service{{
+			Name:       "solver",
+			Provider:   "domain1",
+			Properties: []registry.Property{registry.NumProp("cpu-nodes", 20)},
+		}},
+		ConfirmWindow: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer home.Close()
+
+	// Domain 2: the big national center advertising both services.
+	neighbor, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "domain2",
+		Clock:  gqosm.NewManualClock(start),
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Nodes(60),
+			Adaptive:   gqosm.Nodes(20),
+			BestEffort: gqosm.Nodes(20),
+		},
+		Services: []registry.Service{
+			{Name: "solver", Provider: "domain2",
+				Properties: []registry.Property{registry.NumProp("cpu-nodes", 100)}},
+			{Name: "renderer", Provider: "domain2",
+				Properties: []registry.Property{registry.NumProp("cpu-nodes", 100)}},
+		},
+		ConfirmWindow: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer neighbor.Close()
+
+	fed := core.NewFederation(home.Broker)
+	fed.AddPeer(neighbor.Broker)
+	fmt.Printf("federation: home=domain1, neighbors=%v\n\n", fed.Peers())
+
+	request := func(service string, nodes float64) {
+		offer, err := fed.RequestService(gqosm.Request{
+			Service: service,
+			Client:  "fed-client",
+			Class:   gqosm.ClassGuaranteed,
+			Spec:    gqosm.NewSpec(gqosm.Exact(gqosm.CPU, nodes)),
+			Start:   start,
+			End:     start.Add(4 * time.Hour),
+		})
+		if err != nil {
+			fmt.Printf("request %q x%g: DECLINED everywhere: %v\n", service, nodes, err)
+			return
+		}
+		where := "served locally"
+		if offer.Forwarded {
+			where = "forwarded to neighbor"
+		}
+		fmt.Printf("request %q x%-3g -> %s by %q (SLA %s, price %.2f)\n",
+			service, nodes, where, offer.Domain, offer.SLA.ID, offer.Price)
+	}
+
+	// Fits the home domain.
+	request("solver", 8)
+	// Exceeds domain1's guaranteed pool (12): forwarded to domain2.
+	request("solver", 30)
+	// Only domain2 advertises a renderer.
+	request("renderer", 10)
+	// Nobody has 500 nodes.
+	request("solver", 500)
+
+	fmt.Println("\nhome activity log:")
+	for _, e := range home.Broker.Events() {
+		fmt.Println("  " + e.String())
+	}
+	return nil
+}

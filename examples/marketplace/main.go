@@ -1,0 +1,134 @@
+// Marketplace demonstrates the provider-economics half of the paper:
+// controlled-load clients negotiate quality ranges, a guaranteed burst
+// forces scenario-1 degradation of willing sessions, its completion
+// triggers scenario-2 restoration, the §5.3 optimizer reallocates quality
+// levels for profit, and opted-in clients receive scenario-2(c) promotion
+// offers — with every charge, penalty and promotion landing in the
+// provider ledger.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gqosm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+	clock := gqosm.NewManualClock(start)
+	stack, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "site-a",
+		Clock:  clock,
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Capacity{CPU: 15, MemoryMB: 6144},
+			Adaptive:   gqosm.Capacity{CPU: 6, MemoryMB: 2048},
+			BestEffort: gqosm.Capacity{CPU: 5, MemoryMB: 2048},
+		},
+		ConfirmWindow: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	b := stack.Broker
+
+	// Three controlled-load tenants with [2, 6]-node ranges, all willing
+	// to degrade and opted in to promotions.
+	var tenants []gqosm.SLAID
+	for i := 0; i < 3; i++ {
+		offer, err := b.RequestService(gqosm.Request{
+			Service:           "simulation",
+			Client:            fmt.Sprintf("tenant-%d", i+1),
+			Class:             gqosm.ClassControlledLoad,
+			Spec:              gqosm.NewSpec(gqosm.Range(gqosm.CPU, 2, 6), gqosm.Range(gqosm.MemoryMB, 512, 2048)),
+			Start:             start,
+			End:               start.Add(12 * time.Hour),
+			AcceptDegradation: true,
+			PromotionOptIn:    true,
+		})
+		if err != nil {
+			return err
+		}
+		if err := b.Accept(offer.SLA.ID); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s admitted at %v (%.2f)\n", offer.SLA.ID, offer.SLA.Allocated, offer.Price)
+		tenants = append(tenants, offer.SLA.ID)
+	}
+	printAllocations(b, tenants, "initial allocations")
+
+	// A guaranteed 9-node burst arrives: with the tenants at 15 nodes it
+	// only fits once scenario 1 degrades the willing tenants toward
+	// their 2-node floors.
+	clock.Advance(time.Hour)
+	burst, err := b.RequestService(gqosm.Request{
+		Service: "simulation",
+		Client:  "burst-job",
+		Class:   gqosm.ClassGuaranteed,
+		Spec:    gqosm.NewSpec(gqosm.Exact(gqosm.CPU, 9)),
+		Start:   clock.Now(),
+		End:     clock.Now().Add(2 * time.Hour),
+	})
+	if err != nil {
+		return err
+	}
+	if err := b.Accept(burst.SLA.ID); err != nil {
+		return err
+	}
+	fmt.Printf("\nburst %s admitted (compensated=%v)\n", burst.SLA.ID, burst.Compensated)
+	printAllocations(b, tenants, "after scenario-1 compensation")
+
+	// The burst completes: scenario 2 restores tenants, the optimizer
+	// upgrades them, and promotion offers go out for the rest.
+	clock.Advance(2 * time.Hour)
+	if err := b.Terminate(burst.SLA.ID, "burst complete"); err != nil {
+		return err
+	}
+	printAllocations(b, tenants, "after scenario-2 restoration + optimizer")
+
+	// Tenant 1 finishes early: scenario 2(b) — the optimizer spends the
+	// released nodes on the tenant still below its best quality.
+	clock.Advance(time.Hour)
+	if err := b.Terminate(tenants[0], "tenant finished early"); err != nil {
+		return err
+	}
+	printAllocations(b, tenants[1:], "after tenant-1 departure (optimizer upgrade)")
+
+	promos := b.Promotions()
+	fmt.Printf("\nopen promotion offers: %d\n", len(promos))
+	for _, p := range promos {
+		fmt.Printf("  %s: %v -> %v for %.2f (list %.2f)\n", p.SLA, p.From, p.To, p.OfferPrice, p.ListPrice)
+	}
+	if len(promos) > 0 {
+		if err := b.AcceptPromotion(promos[0].SLA); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s accepted its promotion\n", promos[0].SLA)
+	}
+
+	fmt.Println("\nledger:")
+	for _, e := range b.Ledger().Entries() {
+		fmt.Printf("  %-9s %-18s %8.2f  %s\n", e.Kind, e.SLA, e.Amount, e.Note)
+	}
+	fmt.Printf("net provider revenue: %.2f\n", b.Ledger().NetRevenue())
+	return nil
+}
+
+func printAllocations(b *gqosm.Broker, ids []gqosm.SLAID, label string) {
+	fmt.Printf("\n%s:\n", label)
+	for _, id := range ids {
+		doc, err := b.Session(id)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %s: %v (state %s)\n", id, doc.Allocated, doc.State)
+	}
+}

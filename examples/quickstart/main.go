@@ -1,0 +1,102 @@
+// Quickstart: stand up a single-domain G-QoSM stack in process, negotiate
+// a guaranteed SLA, invoke the service, run an SLA conformance test, and
+// terminate — the full Fig. 2 sequence against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gqosm"
+	"gqosm/internal/sla"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The §5.6 partition: 26 Grid-visible processors split 15/6/5.
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+	stack, err := gqosm.NewStack(gqosm.StackConfig{
+		Domain: "site-a",
+		Clock:  gqosm.NewManualClock(start),
+		Plan: gqosm.CapacityPlan{
+			Guaranteed: gqosm.Capacity{CPU: 15, MemoryMB: 6144, DiskGB: 120},
+			Adaptive:   gqosm.Capacity{CPU: 6, MemoryMB: 2048, DiskGB: 40},
+			BestEffort: gqosm.Capacity{CPU: 5, MemoryMB: 2048, DiskGB: 40},
+		},
+		ConfirmWindow: 10 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+
+	// 1. Discovery + negotiation: request 10 nodes, 2 GB, 15 GB for five
+	// hours.
+	offer, err := stack.Broker.RequestService(gqosm.Request{
+		Service: "simulation",
+		Client:  "quickstart-client",
+		Class:   gqosm.ClassGuaranteed,
+		Spec: gqosm.NewSpec(
+			gqosm.Exact(gqosm.CPU, 10),
+			gqosm.Exact(gqosm.MemoryMB, 2048),
+			gqosm.Exact(gqosm.DiskGB, 15),
+		),
+		Start: start,
+		End:   start.Add(5 * time.Hour),
+	})
+	if err != nil {
+		return fmt.Errorf("request: %w", err)
+	}
+	fmt.Printf("offer: %s at price %.2f (temporarily reserved until %s)\n",
+		offer.SLA.ID, offer.Price, offer.Expires.Format("15:04:05"))
+
+	// 2. SLA establishment.
+	if err := stack.Broker.Accept(offer.SLA.ID); err != nil {
+		return fmt.Errorf("accept: %w", err)
+	}
+	doc, err := stack.Broker.Session(offer.SLA.ID)
+	if err != nil {
+		return err
+	}
+	out, err := sla.MarshalIndent(sla.EncodeDocument(doc))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nestablished SLA document:\n%s\n", out)
+
+	// 3. Service invocation: the launched process claims the
+	// reservation.
+	job, err := stack.Broker.Invoke(offer.SLA.ID)
+	if err != nil {
+		return fmt.Errorf("invoke: %w", err)
+	}
+	fmt.Printf("\nservice running as %s (pid %d)\n", job.ID, job.PID)
+
+	// 4. QoS management: explicit SLA conformance test (Table 3).
+	rep, err := stack.Broker.Verify(offer.SLA.ID)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	levels, err := sla.MarshalIndent(rep.XML)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconformance test reply:\n%s\n", levels)
+
+	// 5. Clearing.
+	if err := stack.Broker.Terminate(offer.SLA.ID, "quickstart complete"); err != nil {
+		return fmt.Errorf("terminate: %w", err)
+	}
+
+	fmt.Println("\nbroker activity log:")
+	for _, e := range stack.Broker.Events() {
+		fmt.Println("  " + e.String())
+	}
+	return nil
+}

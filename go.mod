@@ -1,0 +1,3 @@
+module gqosm
+
+go 1.22

@@ -1,0 +1,365 @@
+// Package gqosm is a Go implementation of the G-QoSM Grid QoS management
+// framework and its QoS adaptation scheme, reproducing "QoS Adaptation in
+// Service-Oriented Grids" (Al-Ali, Hafid, Rana, Walker — Middleware 2003).
+//
+// The package is a thin facade over the implementation packages: it
+// re-exports the types a downstream user needs to stand up an AQoS broker
+// with its substrates (GARA-style reservations, a DSRT-style CPU
+// scheduler, a bandwidth-broker NRM, a UDDIe-style registry, an MDS-style
+// information service and a GRAM-style job manager), negotiate SLAs, and
+// drive the adaptation scheme.
+//
+// Quickstart:
+//
+//	stack, err := gqosm.NewStack(gqosm.StackConfig{
+//		Domain: "site-a",
+//		Plan: gqosm.CapacityPlan{
+//			Guaranteed: gqosm.Capacity{CPU: 15},
+//			Adaptive:   gqosm.Capacity{CPU: 6},
+//			BestEffort: gqosm.Capacity{CPU: 5},
+//		},
+//	})
+//	offer, err := stack.Broker.RequestService(gqosm.Request{ ... })
+//	err = stack.Broker.Accept(offer.SLA.ID)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// paper-to-module map.
+package gqosm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gqosm/internal/clockx"
+	"gqosm/internal/core"
+	"gqosm/internal/dsrt"
+	"gqosm/internal/gara"
+	"gqosm/internal/gram"
+	"gqosm/internal/mds"
+	"gqosm/internal/nrm"
+	"gqosm/internal/pricing"
+	"gqosm/internal/registry"
+	"gqosm/internal/resource"
+	"gqosm/internal/rsl"
+	"gqosm/internal/sla"
+	"gqosm/internal/soapx"
+)
+
+// Re-exported core types. The aliases keep one import path for users while
+// the implementation stays in focused internal packages.
+type (
+	// Capacity is a multi-dimensional resource quantity.
+	Capacity = resource.Capacity
+	// CapacityPlan is the Algorithm-1 partition R = C_G + C_A + C_B.
+	CapacityPlan = core.CapacityPlan
+	// Broker is the AQoS broker.
+	Broker = core.Broker
+	// Request is a client service request with QoS requirements.
+	Request = core.Request
+	// Offer is a proposed SLA with temporarily reserved resources.
+	Offer = core.Offer
+	// SLA is a Service Level Agreement document.
+	SLA = sla.Document
+	// SLAID identifies an SLA.
+	SLAID = sla.ID
+	// Spec is a QoS parameter set.
+	Spec = sla.Spec
+	// Param is one QoS parameter (exact / range / list).
+	Param = sla.Param
+	// Class is the service class (guaranteed / controlled-load / best
+	// effort).
+	Class = sla.Class
+	// Clock abstracts time for deterministic runs.
+	Clock = clockx.Clock
+	// ManualClock is the deterministic clock used by tests and the
+	// simulator.
+	ManualClock = clockx.Manual
+	// PromotionOffer is a scenario-2(c) discounted upgrade offer.
+	PromotionOffer = pricing.PromotionOffer
+	// ConformanceReport is an SLA-Verif result (Table 3).
+	ConformanceReport = core.ConformanceReport
+)
+
+// Re-exported constants.
+const (
+	ClassGuaranteed     = sla.ClassGuaranteed
+	ClassControlledLoad = sla.ClassControlledLoad
+	ClassBestEffort     = sla.ClassBestEffort
+
+	CPU           = resource.CPU
+	MemoryMB      = resource.MemoryMB
+	DiskGB        = resource.DiskGB
+	BandwidthMbps = resource.BandwidthMbps
+)
+
+// Re-exported constructors for QoS parameters.
+var (
+	// Exact builds an exact-value parameter (guaranteed class).
+	Exact = sla.Exact
+	// Range builds a [min, max] parameter (controlled-load class).
+	Range = sla.Range
+	// List builds an explicit-values parameter.
+	List = sla.List
+	// NewSpec assembles a Spec from parameters.
+	NewSpec = sla.NewSpec
+	// Nodes is shorthand for a CPU-only capacity.
+	Nodes = resource.Nodes
+	// PlanForFailureRate sizes the adaptive reserve from the expected
+	// failure rate.
+	PlanForFailureRate = core.PlanForFailureRate
+)
+
+// StackConfig sizes a complete single-domain G-QoSM deployment.
+type StackConfig struct {
+	// Domain names the administrative domain (default "site-a").
+	Domain string
+	// Plan is the capacity partition (required).
+	Plan CapacityPlan
+	// Clock defaults to the wall clock; inject a ManualClock for
+	// deterministic runs.
+	Clock Clock
+	// Services to pre-register for discovery; when empty a catch-all
+	// service named "simulation" advertising the full capacity is
+	// registered.
+	Services []registry.Service
+	// Topology optionally provides a multi-domain network; when set,
+	// NetworkDomain selects the domain this stack's NRM administers.
+	Topology      *nrm.Topology
+	NetworkDomain string
+	// ConfirmWindow bounds how long offers hold temporary reservations.
+	ConfirmWindow time.Duration
+	// MinOptimizerGain is the §5.5 "considerable gain" threshold for
+	// applying optimizer reallocations (default 1.0).
+	MinOptimizerGain float64
+	// DSRTProcessors, when positive, runs service processes under a
+	// DSRT soft-real-time CPU scheduler with that many processors: each
+	// launched job gets a DSRT contract, and the broker tries RM-level
+	// adaptation (share boosts) before AQoS-level adaptation on CPU
+	// degradation (§3.2).
+	DSRTProcessors int
+	// RepoDir, when set, persists established SLAs as Table-4 XML files
+	// in that directory (the paper's SLA repository); otherwise SLAs are
+	// kept in memory.
+	RepoDir string
+	// MonitorInterval, when positive, starts a periodic QoS-management
+	// monitor (NRM checks, session expiry, optimizer passes) at that
+	// interval; Close stops it.
+	MonitorInterval time.Duration
+}
+
+// Stack is an assembled single-domain deployment: the AQoS broker wired to
+// all its substrates, ready for in-process use or for mounting on an HTTP
+// server via Mount.
+type Stack struct {
+	Broker   *core.Broker
+	Pool     *resource.Pool
+	Registry *registry.Registry
+	MDS      *mds.Directory
+	GRAM     *gram.Manager
+	GARA     *gara.System
+	NRM      *nrm.Manager
+	Clock    Clock
+	// DSRT is the soft-real-time CPU scheduler when DSRTProcessors > 0.
+	DSRT *dsrt.Scheduler
+	// RM is the DSRT-backed RM-level adaptation hook, when enabled.
+	RM *core.DSRTAdapter
+	// Monitor is the periodic QoS-management driver, when enabled.
+	Monitor *core.Monitor
+}
+
+// NewStack assembles a deployment.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Domain == "" {
+		cfg.Domain = "site-a"
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = clockx.Real()
+	}
+	total := cfg.Plan.Total()
+	pool := resource.NewPool(cfg.Domain, total)
+
+	g := gara.NewSystem()
+	g.RegisterManager(gara.NewComputeManager(pool))
+
+	var netMgr *nrm.Manager
+	if cfg.Topology != nil {
+		domain := cfg.NetworkDomain
+		if domain == "" {
+			domain = cfg.Domain
+		}
+		netMgr = nrm.NewManager(domain, cfg.Topology)
+		g.RegisterManager(gara.NewNetworkManager(netMgr))
+	}
+
+	reg := registry.New(clock)
+	services := cfg.Services
+	if len(services) == 0 {
+		services = []registry.Service{{
+			Name:     "simulation",
+			Provider: cfg.Domain,
+			Properties: []registry.Property{
+				registry.NumProp("cpu-nodes", total.CPU),
+				registry.NumProp("memory-mb", total.MemoryMB),
+				registry.NumProp("disk-gb", total.DiskGB),
+				registry.NumProp("bandwidth-mbps", total.BandwidthMbps),
+			},
+		}}
+	}
+	for _, s := range services {
+		if _, err := reg.Register(s); err != nil {
+			return nil, fmt.Errorf("gqosm: register service: %w", err)
+		}
+	}
+
+	dir := mds.NewDirectory()
+	if err := dir.Register(cfg.Domain, func() mds.Attributes {
+		now := clock.Now()
+		return mds.Attributes{
+			"cpu-total": fmt.Sprintf("%g", pool.Total().CPU),
+			"cpu-free":  fmt.Sprintf("%g", pool.Available(now).CPU),
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	gramM := gram.NewManager(clock)
+
+	var (
+		sched   *dsrt.Scheduler
+		adapter *core.DSRTAdapter
+	)
+	if cfg.DSRTProcessors > 0 {
+		sched = dsrt.New(dsrt.Config{Processors: cfg.DSRTProcessors}, nil)
+		g.RegisterManager(gara.NewDSRTManager(sched))
+		adapter = core.NewDSRTAdapter(sched)
+		// Run every launched service process under a DSRT contract: the
+		// job's label carries the SLA ID, so degradations can be
+		// rectified at the scheduler (RM) level first.
+		attachJobs(gramM, sched, adapter, cfg.DSRTProcessors)
+	}
+
+	var repo sla.Repository
+	if cfg.RepoDir != "" {
+		fileRepo, err := sla.NewFileRepository(cfg.RepoDir)
+		if err != nil {
+			gramM.Close()
+			return nil, err
+		}
+		repo = fileRepo
+	}
+
+	broker, err := core.NewBroker(core.Config{
+		Domain:           cfg.Domain,
+		Clock:            clock,
+		Plan:             cfg.Plan,
+		Registry:         reg,
+		GARA:             g,
+		GRAM:             gramM,
+		NRM:              netMgr,
+		MDS:              dir,
+		RM:               rmOrNil(adapter),
+		Repo:             repo,
+		ConfirmWindow:    cfg.ConfirmWindow,
+		MinOptimizerGain: cfg.MinOptimizerGain,
+	})
+	if err != nil {
+		gramM.Close()
+		return nil, err
+	}
+	stack := &Stack{
+		Broker:   broker,
+		Pool:     pool,
+		Registry: reg,
+		MDS:      dir,
+		GRAM:     gramM,
+		GARA:     g,
+		NRM:      netMgr,
+		Clock:    clock,
+		DSRT:     sched,
+		RM:       adapter,
+	}
+	if cfg.MonitorInterval > 0 {
+		stack.Monitor = core.NewMonitor(broker, cfg.MonitorInterval)
+		stack.Monitor.Start()
+	}
+	return stack, nil
+}
+
+// rmOrNil avoids storing a typed-nil adapter in the interface-valued
+// config field.
+func rmOrNil(a *core.DSRTAdapter) core.RMAdapter {
+	if a == nil {
+		return nil
+	}
+	return a
+}
+
+// attachJobs subscribes to GRAM job transitions, giving every launched
+// service process a DSRT contract and linking it to its session for
+// RM-level adaptation; terminal jobs release their contracts.
+func attachJobs(gramM *gram.Manager, sched *dsrt.Scheduler, adapter *core.DSRTAdapter, processors int) {
+	var mu sync.Mutex
+	contracts := make(map[gram.JobID]dsrt.PID)
+	gramM.Subscribe(func(j gram.Job) {
+		node, err := rsl.Parse(j.Spec)
+		if err != nil {
+			return
+		}
+		id := sla.ID(node.Str("label", ""))
+		if id == "" {
+			return
+		}
+		switch {
+		case j.State == gram.StateActive:
+			// A modest default share; the DSRT adapter raises it on
+			// demand when degradation is detected.
+			share := 0.5 / float64(processors)
+			pid, err := sched.Register(dsrt.Contract{Class: dsrt.PeriodicVariable, Share: share})
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			contracts[j.ID] = pid
+			mu.Unlock()
+			adapter.Attach(id, pid)
+		case j.State.Terminal():
+			mu.Lock()
+			pid, ok := contracts[j.ID]
+			delete(contracts, j.ID)
+			mu.Unlock()
+			if ok {
+				_ = sched.Unregister(pid)
+				adapter.Detach(id)
+			}
+		}
+	})
+}
+
+// Mount installs the broker's SOAP endpoints on a fresh mux implementing
+// http.Handler (the Fig. 5 deployment).
+func (s *Stack) Mount() *soapx.Mux {
+	mux := soapx.NewMux()
+	s.Broker.Mount(mux)
+	s.Registry.Mount(mux)
+	return mux
+}
+
+// Close shuts the stack down.
+func (s *Stack) Close() {
+	if s.Monitor != nil {
+		s.Monitor.Stop()
+	}
+	s.Broker.Close()
+	s.GRAM.Close()
+}
+
+// NewManualClock returns a deterministic clock starting at start.
+func NewManualClock(start time.Time) *ManualClock { return clockx.NewManual(start) }
+
+// NewTopology returns an empty multi-domain network topology.
+func NewTopology() *nrm.Topology { return nrm.NewTopology() }
+
+// NewBrokerClient returns a typed SOAP client for a remote AQoS broker.
+func NewBrokerClient(endpoint string) *core.Client { return core.NewClient(endpoint) }

@@ -1,0 +1,186 @@
+// Package clockx provides injectable clocks so that every time-dependent
+// component in the system (reservation expiry, confirmation windows, session
+// lifetimes, monitors) can run against either the wall clock or a
+// deterministic manual clock driven by tests and the discrete-event
+// simulator.
+package clockx
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run in its own goroutine once d has
+	// elapsed and returns a Timer that can cancel it.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a cancellable pending callback created by AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call stopped the
+	// timer before it fired.
+	Stop() bool
+}
+
+// Real returns a Clock backed by the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Manual is a deterministic Clock whose time only moves when Advance or Set
+// is called. Timers scheduled with After/AfterFunc fire synchronously (in
+// timestamp order) during Advance. The zero value is not usable; call
+// NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	nextID  int
+	pending []*manualTimer
+}
+
+// NewManual returns a Manual clock whose current time is start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+type manualTimer struct {
+	clock   *Manual
+	id      int
+	at      time.Time
+	f       func(now time.Time)
+	stopped bool
+}
+
+func (mt *manualTimer) Stop() bool {
+	mt.clock.mu.Lock()
+	defer mt.clock.mu.Unlock()
+	if mt.stopped {
+		return false
+	}
+	mt.stopped = true
+	return true
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so firing
+// never blocks Advance.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.schedule(d, func(now time.Time) { ch <- now })
+	return ch
+}
+
+// AfterFunc implements Clock. The callback runs synchronously inside
+// Advance, after the clock has moved to the timer's deadline.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	return m.schedule(d, func(time.Time) { f() })
+}
+
+func (m *Manual) schedule(d time.Duration, f func(now time.Time)) *manualTimer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	mt := &manualTimer{clock: m, id: m.nextID, at: m.now.Add(d), f: f}
+	m.pending = append(m.pending, mt)
+	return mt
+}
+
+// Advance moves the clock forward by d, firing due timers in timestamp
+// order (ties broken by creation order). Callbacks run with the clock set
+// to their deadline, so a callback that schedules another timer within the
+// remaining window will see it fire in the same Advance call.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	m.mu.Unlock()
+	m.Set(target)
+}
+
+// Set moves the clock to t (which must not be earlier than the current
+// time), firing due timers as in Advance.
+func (m *Manual) Set(t time.Time) {
+	for {
+		mt := m.popDue(t)
+		if mt == nil {
+			break
+		}
+		mt.f(mt.at)
+	}
+	m.mu.Lock()
+	if t.After(m.now) {
+		m.now = t
+	}
+	m.mu.Unlock()
+}
+
+// popDue removes and returns the earliest unstopped timer with deadline
+// ≤ target, moving the clock to that deadline; it returns nil when none
+// remain.
+func (m *Manual) popDue(target time.Time) *manualTimer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.pending[:0]
+	for _, mt := range m.pending {
+		if !mt.stopped {
+			live = append(live, mt)
+		}
+	}
+	m.pending = live
+	sort.SliceStable(m.pending, func(i, j int) bool {
+		if !m.pending[i].at.Equal(m.pending[j].at) {
+			return m.pending[i].at.Before(m.pending[j].at)
+		}
+		return m.pending[i].id < m.pending[j].id
+	})
+	if len(m.pending) == 0 || m.pending[0].at.After(target) {
+		return nil
+	}
+	mt := m.pending[0]
+	m.pending = m.pending[1:]
+	mt.stopped = true
+	if mt.at.After(m.now) {
+		m.now = mt.at
+	}
+	return mt
+}
+
+// PendingTimers reports how many unfired, unstopped timers are scheduled.
+func (m *Manual) PendingTimers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, mt := range m.pending {
+		if !mt.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Clock = (*Manual)(nil)

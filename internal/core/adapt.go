@@ -1,0 +1,491 @@
+// Package core implements the paper's primary contribution: the AQoS
+// broker of the G-QoSM framework, with the QoS adaptation scheme of §5 —
+// the capacity-partition adaptation algorithm (Algorithm 1), the
+// resource-allocation optimization heuristic (§5.3), the three adaptation
+// scenarios (§4), SLA negotiation and establishment, the Reservation
+// System over GARA (§3.1), and SLA-Verif conformance monitoring (§3.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gqosm/internal/resource"
+)
+
+// CapacityPlan is the administrator's partition of the total resource
+// capacity (Algorithm 1): R = C_G + C_A + C_B, where C_G serves
+// 'guaranteed' users, C_A is the adaptive reserve "based on the specified
+// rate of resource failure or congestion", and C_B is the minimum capacity
+// for 'best effort' users.
+type CapacityPlan struct {
+	Guaranteed resource.Capacity // C_G
+	Adaptive   resource.Capacity // C_A
+	BestEffort resource.Capacity // C_B
+}
+
+// Total returns R = C_G + C_A + C_B.
+func (p CapacityPlan) Total() resource.Capacity {
+	return p.Guaranteed.Add(p.Adaptive).Add(p.BestEffort)
+}
+
+// Validate checks the partition.
+func (p CapacityPlan) Validate() error {
+	if !p.Guaranteed.IsNonNegative() || !p.Adaptive.IsNonNegative() || !p.BestEffort.IsNonNegative() {
+		return errors.New("core: capacity plan has negative components")
+	}
+	if p.Total().IsZero() {
+		return errors.New("core: capacity plan is empty")
+	}
+	return nil
+}
+
+// PlanForFailureRate sizes the adaptive reserve from the administrator's
+// expected failure/congestion rate f (fraction of total capacity expected
+// to be unavailable) and best-effort minimum fraction b, dividing total as
+// C_A = f·R, C_B = b·R, C_G = the rest.
+func PlanForFailureRate(total resource.Capacity, failureRate, bestEffortFrac float64) (CapacityPlan, error) {
+	if failureRate < 0 || bestEffortFrac < 0 || failureRate+bestEffortFrac >= 1 {
+		return CapacityPlan{}, fmt.Errorf("core: invalid fractions f=%g b=%g", failureRate, bestEffortFrac)
+	}
+	a := total.Scale(failureRate)
+	b := total.Scale(bestEffortFrac)
+	return CapacityPlan{
+		Guaranteed: total.Sub(a).Sub(b),
+		Adaptive:   a,
+		BestEffort: b,
+	}, nil
+}
+
+// Allocator errors.
+var (
+	// ErrCannotHonor is returned when even the SLA floor g(u) cannot be
+	// allocated ("guarantees cannot be honored").
+	ErrCannotHonor = errors.New("core: guaranteed capacity cannot be honored")
+	// ErrBestEffortFull is returned when a best-effort request exceeds
+	// the borrowable capacity.
+	ErrBestEffortFull = errors.New("core: best-effort capacity exhausted")
+	// ErrUnknownUser is returned for releases of unknown allocations.
+	ErrUnknownUser = errors.New("core: unknown allocation")
+)
+
+// Preemption records a reduction of a best-effort allocation caused by
+// guaranteed-class demand reclaiming borrowed capacity.
+type Preemption struct {
+	User    string
+	Before  resource.Capacity
+	After   resource.Capacity
+	Evicted bool // the allocation was removed entirely
+}
+
+// GrantResult reports the outcome of a guaranteed allocation.
+type GrantResult struct {
+	// Granted is the capacity actually allocated (== requested, or the
+	// SLA floor when the full request could not be honored).
+	Granted resource.Capacity
+	// Shortfall is the unsatisfied remainder (requested − granted).
+	Shortfall resource.Capacity
+	// AdaptiveUsed reports whether the grant draws on the adaptive
+	// reserve (i.e. Adapt() ran).
+	AdaptiveUsed bool
+	// Preempted lists best-effort allocations reduced to make room.
+	Preempted []Preemption
+}
+
+type beAlloc struct {
+	user    string
+	granted resource.Capacity
+	seq     int
+}
+
+// Allocator is the Algorithm-1 engine: it tracks instantaneous capacity
+// allocations c(u,t) for guaranteed users and b(u,t) for best-effort
+// users against the partition, implements Adapt(), and enforces the
+// dynamic-borrowing policy ("the extra reserved capacity is used by 'best
+// effort' users as long as it is not needed by 'guaranteed' users"). It is
+// safe for concurrent use.
+type Allocator struct {
+	plan CapacityPlan
+
+	mu         sync.Mutex
+	offline    resource.Capacity // failed capacity, charged against C_G
+	guaranteed map[string]resource.Capacity
+	floors     map[string]resource.Capacity
+	bestEffort []beAlloc
+	nextSeq    int
+}
+
+// NewAllocator returns an allocator over the given plan.
+func NewAllocator(plan CapacityPlan) (*Allocator, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Allocator{
+		plan:       plan,
+		guaranteed: make(map[string]resource.Capacity),
+		floors:     make(map[string]resource.Capacity),
+	}, nil
+}
+
+// Plan returns the partition.
+func (a *Allocator) Plan() CapacityPlan { return a.plan }
+
+// SetOffline marks capacity as failed/inaccessible (the §5.6 t2 event).
+// Failures are charged against the guaranteed pool C_G — the case the
+// adaptive reserve exists to absorb. Existing guaranteed grants are never
+// reduced by failures (their SLAs are honored from C_A via Adapt());
+// best-effort borrowers are preempted as needed. The returned preemptions
+// describe the best-effort reductions.
+func (a *Allocator) SetOffline(c resource.Capacity) []Preemption {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offline = c.Min(a.plan.Guaranteed).ClampMin(resource.Capacity{})
+	return a.rebalanceLocked()
+}
+
+// Offline returns the currently failed capacity.
+func (a *Allocator) Offline() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.offline
+}
+
+// effectiveG returns C_G minus failed capacity.
+func (a *Allocator) effectiveGLocked() resource.Capacity {
+	return a.plan.Guaranteed.Sub(a.offline).ClampMin(resource.Capacity{})
+}
+
+func (a *Allocator) gDemandLocked() resource.Capacity {
+	var sum resource.Capacity
+	for _, c := range a.guaranteed {
+		sum = sum.Add(c)
+	}
+	return sum
+}
+
+func (a *Allocator) beUsedLocked() resource.Capacity {
+	var sum resource.Capacity
+	for _, b := range a.bestEffort {
+		sum = sum.Add(b.granted)
+	}
+	return sum
+}
+
+// adaptiveUsedLocked is the portion of guaranteed demand spilling past
+// C_G_eff into C_A — the Adapt() transfer of Algorithm 1.
+func (a *Allocator) adaptiveUsedLocked() resource.Capacity {
+	return a.gDemandLocked().Sub(a.effectiveGLocked()).ClampMin(resource.Capacity{}).Min(a.plan.Adaptive)
+}
+
+// beAvailableLocked is the capacity best-effort users may hold: their own
+// C_B, plus the adaptive reserve not needed by guaranteed users, plus idle
+// guaranteed capacity (dynamic borrowing).
+func (a *Allocator) beAvailableLocked() resource.Capacity {
+	gEff := a.effectiveGLocked()
+	gDemand := a.gDemandLocked()
+	freeG := gEff.Sub(gDemand).ClampMin(resource.Capacity{})
+	freeA := a.plan.Adaptive.Sub(a.adaptiveUsedLocked()).ClampMin(resource.Capacity{})
+	return a.plan.BestEffort.Add(freeA).Add(freeG)
+}
+
+// gBoundLocked is the admission bound for guaranteed demand:
+// min(C_G, C_G_eff + C_A) per dimension. New agreements never consume the
+// adaptive reserve — it exists "based on the specified rate of resource
+// failure or congestion" to give guaranteed users "extra assurances" — but
+// when failures shrink C_G the reserve covers already-admitted demand
+// (Adapt()), so admission up to nominal C_G continues as long as the
+// shortfall stays within C_A.
+func (a *Allocator) gBoundLocked() resource.Capacity {
+	return a.plan.Guaranteed.Min(a.effectiveGLocked().Add(a.plan.Adaptive))
+}
+
+// AllocateGuaranteed implements Allocate_Guaranteed_Resource(c(u,t),
+// g(u)): it grants the requested capacity when guaranteed demand stays
+// within the admission bound (nominal C_G, with failure shortfalls covered
+// from the adaptive reserve via Adapt()); otherwise it grants only the SLA
+// floor g(u) and reports the shortfall. It fails with ErrCannotHonor when
+// even g(u) does not fit. Re-allocating for an existing user replaces the
+// previous grant. floor must fit in requested.
+func (a *Allocator) AllocateGuaranteed(user string, requested, floor resource.Capacity) (GrantResult, error) {
+	if !floor.FitsIn(requested) {
+		return GrantResult{}, fmt.Errorf("core: floor %v exceeds request %v", floor, requested)
+	}
+	if !requested.IsNonNegative() {
+		return GrantResult{}, fmt.Errorf("core: negative request %v", requested)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	prev, hadPrev := a.guaranteed[user]
+	base := a.gDemandLocked()
+	if hadPrev {
+		base = base.Sub(prev)
+	}
+	gEff := a.effectiveGLocked()
+	bound := a.gBoundLocked()
+
+	var res GrantResult
+	switch {
+	case base.Add(requested).FitsIn(bound):
+		// Σ c(u,t) ≤ C_G: "c(u,t) capacity must be given". When
+		// failures leave Σ c(u,t) > C_G_eff, Adapt() transfers
+		// min(C_A, −net) from A to G — the grant stands either way.
+		res.Granted = requested
+		res.AdaptiveUsed = !base.Add(requested).FitsIn(gEff)
+	case base.Add(floor).FitsIn(bound):
+		// The full request exceeds the admission bound: "only g(u)
+		// capacity is given"; the rest is the caller's to re-request
+		// later.
+		res.Granted = floor
+		res.Shortfall = requested.Sub(floor)
+		res.AdaptiveUsed = !base.Add(floor).FitsIn(gEff)
+	default:
+		if hadPrev {
+			// Leave the previous grant untouched.
+			return GrantResult{}, fmt.Errorf("%w: user %s needs %v, only %v guaranteed-capacity available",
+				ErrCannotHonor, user, floor, bound.Sub(base).ClampMin(resource.Capacity{}))
+		}
+		return GrantResult{}, fmt.Errorf("%w: user %s needs floor %v, only %v available",
+			ErrCannotHonor, user, floor, bound.Sub(base).ClampMin(resource.Capacity{}))
+	}
+
+	a.guaranteed[user] = res.Granted
+	a.floors[user] = floor
+	res.Preempted = a.rebalanceLocked()
+	return res, nil
+}
+
+// ReleaseGuaranteed frees a guaranteed user's allocation (service
+// termination — scenario 2's trigger).
+func (a *Allocator) ReleaseGuaranteed(user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.guaranteed[user]; !ok {
+		return fmt.Errorf("%w: guaranteed %q", ErrUnknownUser, user)
+	}
+	delete(a.guaranteed, user)
+	delete(a.floors, user)
+	return nil
+}
+
+// AllocateBestEffort implements Allocate_Best_Effort_Resource(b(u,t)):
+// the request is granted iff it fits in C_B plus currently idle
+// adaptive/guaranteed capacity; otherwise "cannot allocate the required
+// capacity".
+func (a *Allocator) AllocateBestEffort(user string, requested resource.Capacity) error {
+	if !requested.IsNonNegative() || requested.IsZero() {
+		return fmt.Errorf("core: bad best-effort request %v", requested)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	avail := a.beAvailableLocked().Sub(a.beUsedLocked())
+	if !requested.FitsIn(avail) {
+		return fmt.Errorf("%w: requested %v, available %v", ErrBestEffortFull, requested, avail)
+	}
+	a.nextSeq++
+	a.bestEffort = append(a.bestEffort, beAlloc{user: user, granted: requested, seq: a.nextSeq})
+	return nil
+}
+
+// ReleaseBestEffort frees a best-effort user's allocations.
+func (a *Allocator) ReleaseBestEffort(user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.bestEffort[:0]
+	found := false
+	for _, b := range a.bestEffort {
+		if b.user == user {
+			found = true
+			continue
+		}
+		kept = append(kept, b)
+	}
+	a.bestEffort = kept
+	if !found {
+		return fmt.Errorf("%w: best-effort %q", ErrUnknownUser, user)
+	}
+	return nil
+}
+
+// rebalanceLocked preempts best-effort borrowers (most recent first) until
+// total best-effort usage fits the borrowable capacity. It returns the
+// preemptions applied.
+func (a *Allocator) rebalanceLocked() []Preemption {
+	var out []Preemption
+	over := a.beUsedLocked().Sub(a.beAvailableLocked()).ClampMin(resource.Capacity{})
+	if over.IsZero() {
+		return nil
+	}
+	// LIFO: newest borrowers lose first.
+	order := make([]int, len(a.bestEffort))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return a.bestEffort[order[i]].seq > a.bestEffort[order[j]].seq
+	})
+	for _, idx := range order {
+		if over.IsZero() {
+			break
+		}
+		b := &a.bestEffort[idx]
+		cut := b.granted.Min(over)
+		if cut.IsZero() {
+			continue
+		}
+		after := b.granted.Sub(cut)
+		out = append(out, Preemption{
+			User:    b.user,
+			Before:  b.granted,
+			After:   after,
+			Evicted: after.IsZero(),
+		})
+		b.granted = after
+		over = over.Sub(cut).ClampMin(resource.Capacity{})
+	}
+	kept := a.bestEffort[:0]
+	for _, b := range a.bestEffort {
+		if !b.granted.IsZero() {
+			kept = append(kept, b)
+		}
+	}
+	a.bestEffort = kept
+	return out
+}
+
+// PoolUsage reports, for one partition pool, how much capacity each class
+// currently occupies — the per-pool g/b rows of the §5.6 measurement
+// tables.
+type PoolUsage struct {
+	Pool       string // "G", "A", "B"
+	Capacity   resource.Capacity
+	Offline    resource.Capacity
+	Guaranteed resource.Capacity // used by guaranteed-class demand
+	BestEffort resource.Capacity // used by best-effort borrowers
+}
+
+// Free returns the pool's idle online capacity.
+func (u PoolUsage) Free() resource.Capacity {
+	return u.Capacity.Sub(u.Offline).Sub(u.Guaranteed).Sub(u.BestEffort).ClampMin(resource.Capacity{})
+}
+
+// Snapshot reports current usage by pool. Accounting rule: guaranteed
+// demand fills G then spills into A (the Adapt() transfer); best-effort
+// fills B, then idle G, then idle A — the adaptive reserve is lent last so
+// it stays available to absorb failures (this ordering reproduces the
+// per-pool g/b rows of the §5.6 measurement list: at t0, best-effort
+// demand of 11 shows as 5 in B, 5 in idle G, 1 in A).
+func (a *Allocator) Snapshot() []PoolUsage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	gEff := a.effectiveGLocked()
+	gDemand := a.gDemandLocked()
+	gInG := gDemand.Min(gEff)
+	gInA := a.adaptiveUsedLocked()
+
+	be := a.beUsedLocked()
+	beInB := be.Min(a.plan.BestEffort)
+	rem := be.Sub(beInB).ClampMin(resource.Capacity{})
+	freeG := gEff.Sub(gInG).ClampMin(resource.Capacity{})
+	beInG := rem.Min(freeG)
+	beInA := rem.Sub(beInG).ClampMin(resource.Capacity{})
+
+	return []PoolUsage{
+		{Pool: "G", Capacity: a.plan.Guaranteed, Offline: a.offline, Guaranteed: gInG, BestEffort: beInG},
+		{Pool: "A", Capacity: a.plan.Adaptive, Guaranteed: gInA, BestEffort: beInA},
+		{Pool: "B", Capacity: a.plan.BestEffort, BestEffort: beInB},
+	}
+}
+
+// Utilization returns total allocated capacity divided by online capacity,
+// per dimension (dimensions with zero capacity report zero).
+func (a *Allocator) Utilization() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	online := a.plan.Total().Sub(a.offline)
+	used := a.gDemandLocked().Add(a.beUsedLocked())
+	var out resource.Capacity
+	for _, k := range resource.Kinds {
+		if online.Get(k) > resource.Epsilon {
+			out = out.With(k, used.Get(k)/online.Get(k))
+		}
+	}
+	return out
+}
+
+// GuaranteedAllocation returns the current grant for a guaranteed user.
+func (a *Allocator) GuaranteedAllocation(user string) (resource.Capacity, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.guaranteed[user]
+	return c, ok
+}
+
+// BestEffortAllocation returns the total granted to a best-effort user.
+func (a *Allocator) BestEffortAllocation(user string) (resource.Capacity, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sum resource.Capacity
+	found := false
+	for _, b := range a.bestEffort {
+		if b.user == user {
+			sum = sum.Add(b.granted)
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// AvailableGuaranteed reports the admission headroom for new guaranteed
+// demand — the Available_Guaranteed_Resource check against the admission
+// bound (see gBoundLocked).
+func (a *Allocator) AvailableGuaranteed() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gBoundLocked().Sub(a.gDemandLocked()).ClampMin(resource.Capacity{})
+}
+
+// AvailableBestEffort reports the headroom for new best-effort demand.
+func (a *Allocator) AvailableBestEffort() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.beAvailableLocked().Sub(a.beUsedLocked()).ClampMin(resource.Capacity{})
+}
+
+// Coverage returns, per dimension, the fraction of granted guaranteed
+// capacity that is actually deliverable right now:
+// min(1, (C_G_eff + C_A) / Σ c(u,t)). Under normal operation this is 1;
+// it drops below 1 only when failures exceed what the adaptive reserve
+// can absorb — the condition SLA-Verif reports as measured QoS below the
+// agreed level.
+func (a *Allocator) Coverage() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	deliverable := a.effectiveGLocked().Add(a.plan.Adaptive)
+	demand := a.gDemandLocked()
+	out := resource.Capacity{CPU: 1, MemoryMB: 1, DiskGB: 1, BandwidthMbps: 1}
+	for _, k := range resource.Kinds {
+		if d := demand.Get(k); d > resource.Epsilon {
+			ratio := deliverable.Get(k) / d
+			if ratio < 1 {
+				out = out.With(k, ratio)
+			}
+		}
+	}
+	return out
+}
+
+// GuaranteedUsers returns the guaranteed users sorted by name.
+func (a *Allocator) GuaranteedUsers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.guaranteed))
+	for u := range a.guaranteed {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gqosm/internal/clockx"
+	"gqosm/internal/gara"
+	"gqosm/internal/gram"
+	"gqosm/internal/mds"
+	"gqosm/internal/nrm"
+	"gqosm/internal/pricing"
+	"gqosm/internal/registry"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// Broker errors.
+var (
+	// ErrNoService is returned when discovery finds no matching service.
+	ErrNoService = errors.New("core: no service matches the request")
+	// ErrOverBudget is returned when even the floor quality exceeds the
+	// client's budget.
+	ErrOverBudget = errors.New("core: request exceeds client budget")
+	// ErrUnknownSession is returned for operations on unknown SLA IDs.
+	ErrUnknownSession = errors.New("core: unknown session")
+	// ErrBadState is returned when an operation does not apply to the
+	// session's lifecycle state.
+	ErrBadState = errors.New("core: operation invalid in current session state")
+	// ErrClosed is returned after the broker shuts down.
+	ErrClosed = errors.New("core: broker closed")
+)
+
+// Finder is the discovery dependency (satisfied by *registry.Registry and
+// *registry.Client).
+type Finder interface {
+	Find(q registry.Query) ([]*registry.Service, error)
+}
+
+// Config assembles a Broker.
+type Config struct {
+	// Domain names the administrative domain the broker serves.
+	Domain string
+	// Clock drives timeouts and timestamps; defaults to the real clock.
+	Clock clockx.Clock
+	// Plan is the Algorithm-1 capacity partition (required).
+	Plan CapacityPlan
+	// Registry performs service discovery; nil skips discovery (the
+	// request's Service name is taken at face value).
+	Registry Finder
+	// GARA performs resource reservations (required).
+	GARA *gara.System
+	// GRAM runs services; nil disables Invoke.
+	GRAM *gram.Manager
+	// NRM provides network measurements and degradation notifications;
+	// optional.
+	NRM *nrm.Manager
+	// MDS provides CPU status for conformance tests; optional.
+	MDS *mds.Directory
+	// RM is the resource-manager-level adaptation hook tried before any
+	// AQoS-level adaptation on degradation (§3.2); optional.
+	RM RMAdapter
+	// Repo stores established SLAs; defaults to an in-memory repository.
+	Repo sla.Repository
+	// Prices is the cost model; defaults to
+	// pricing.NewModel(pricing.DefaultRates).
+	Prices *pricing.Model
+	// Ledger records accounting; defaults to a fresh ledger.
+	Ledger *pricing.Ledger
+	// ConfirmWindow is how long a proposed SLA's temporary reservation
+	// is held before automatic cancellation (§3.1); default 2 minutes.
+	ConfirmWindow time.Duration
+	// MinOptimizerGain is the "considerable gain" threshold: the
+	// optimizer's reallocation is applied only when it improves profit
+	// by at least this amount (default 1.0).
+	MinOptimizerGain float64
+	// RangeSteps discretizes controlled-load ranges for the optimizer
+	// (default 4).
+	RangeSteps int
+}
+
+// Event is one entry of the broker activity log (the Fig. 6 console).
+type Event struct {
+	At   time.Time
+	Kind string
+	SLA  sla.ID
+	Msg  string
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	if e.SLA != "" {
+		return fmt.Sprintf("%s [%s] (%s) %s", e.At.Format("15:04:05"), e.Kind, e.SLA, e.Msg)
+	}
+	return fmt.Sprintf("%s [%s] %s", e.At.Format("15:04:05"), e.Kind, e.Msg)
+}
+
+// session is the broker's live state for one SLA.
+type session struct {
+	doc     *sla.Document
+	handle  gara.Handle
+	confirm clockx.Timer // pending auto-cancel while proposed
+	job     gram.JobID
+	// original is the allocation before any degradation, for scenario-3
+	// restoration and scenario-2(a) upgrades.
+	original resource.Capacity
+	// degraded marks sessions running below their negotiated quality.
+	degraded bool
+	// violations counts detected SLA violations.
+	violations int
+}
+
+// Broker is the AQoS broker: "the main focus of the system … required to
+// interact with clients, RMs, NRMs and neighboring AQoSs. The AQoS also
+// negotiates SLAs with clients and communicates parameters associated with
+// an SLA to the corresponding resource manager. The AQoS is responsible
+// for ensuring SLA conformance to allocated resources, and provides
+// support for parameter adaptation when a SLA violation is detected"
+// (§2.1). All methods are safe for concurrent use.
+type Broker struct {
+	cfg    Config
+	alloc  *Allocator
+	clock  clockx.Clock
+	prices *pricing.Model
+	ledger *pricing.Ledger
+	repo   sla.Repository
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	sessions map[sla.ID]*session
+	// promotions holds open scenario-2(c) offers by SLA.
+	promotions map[sla.ID]pricing.PromotionOffer
+	events     []Event
+}
+
+// NewBroker assembles a broker from the config.
+func NewBroker(cfg Config) (*Broker, error) {
+	if cfg.GARA == nil {
+		return nil, errors.New("core: Config.GARA is required")
+	}
+	alloc, err := NewAllocator(cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clockx.Real()
+	}
+	if cfg.Repo == nil {
+		cfg.Repo = sla.NewMemoryRepository()
+	}
+	if cfg.Prices == nil {
+		cfg.Prices = pricing.NewModel(pricing.DefaultRates)
+	}
+	if cfg.Ledger == nil {
+		cfg.Ledger = pricing.NewLedger()
+	}
+	if cfg.ConfirmWindow <= 0 {
+		cfg.ConfirmWindow = 2 * time.Minute
+	}
+	if cfg.MinOptimizerGain <= 0 {
+		cfg.MinOptimizerGain = 1.0
+	}
+	if cfg.RangeSteps <= 0 {
+		cfg.RangeSteps = 4
+	}
+	b := &Broker{
+		cfg:        cfg,
+		alloc:      alloc,
+		clock:      cfg.Clock,
+		prices:     cfg.Prices,
+		ledger:     cfg.Ledger,
+		repo:       cfg.Repo,
+		sessions:   make(map[sla.ID]*session),
+		promotions: make(map[sla.ID]pricing.PromotionOffer),
+	}
+	if cfg.NRM != nil {
+		cfg.NRM.Subscribe(b.onNetworkDegradation)
+	}
+	return b, nil
+}
+
+// Close cancels every pending confirmation timer and refuses further
+// requests. Established sessions and their reservations are left intact
+// (the broker does not own the resource managers' lifecycles).
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, s := range b.sessions {
+		if s.confirm != nil {
+			s.confirm.Stop()
+			s.confirm = nil
+		}
+	}
+}
+
+// Allocator exposes the Algorithm-1 engine (read-mostly: experiments
+// snapshot pool usage through it).
+func (b *Broker) Allocator() *Allocator { return b.alloc }
+
+// Ledger exposes the accounting ledger.
+func (b *Broker) Ledger() *pricing.Ledger { return b.ledger }
+
+// Repo exposes the SLA repository.
+func (b *Broker) Repo() sla.Repository { return b.repo }
+
+// Events returns a copy of the activity log.
+func (b *Broker) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Session returns a copy of the SLA document for the given session.
+func (b *Broker) Session(id sla.ID) (*sla.Document, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	return s.doc.Clone(), nil
+}
+
+// Sessions returns copies of all session documents matching the filter
+// (nil matches all), ordered by ID.
+func (b *Broker) Sessions(filter func(*sla.Document) bool) []*sla.Document {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*sla.Document, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		if filter == nil || filter(s.doc) {
+			out = append(out, s.doc.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// logf appends to the activity log. Callers must not hold b.mu.
+func (b *Broker) logf(kind string, id sla.ID, format string, args ...any) {
+	e := Event{At: b.clock.Now(), Kind: kind, SLA: id, Msg: fmt.Sprintf(format, args...)}
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// logLocked appends to the activity log with b.mu held.
+func (b *Broker) logLocked(kind string, id sla.ID, format string, args ...any) {
+	b.events = append(b.events, Event{
+		At: b.clock.Now(), Kind: kind, SLA: id, Msg: fmt.Sprintf(format, args...),
+	})
+}

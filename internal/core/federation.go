@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gqosm/internal/sla"
+	"gqosm/internal/soapx"
+	"gqosm/internal/xmlmsg"
+)
+
+// This file implements the inter-domain half of Fig. 1: the AQoS "is
+// required to interact with clients, RMs, NRMs and *neighboring AQoSs*".
+// A Federation links the brokers of several administrative domains; a
+// request the local broker cannot serve (no matching service, or
+// insufficient capacity even after scenario-1 compensation) is forwarded
+// to neighbor brokers in preference order, and the winning domain's offer
+// is returned to the client unchanged.
+
+// Peer is a neighboring AQoS broker. It is satisfied by *Broker (local
+// wiring) and by *Client via PeerClient (SOAP wiring).
+type Peer interface {
+	// PeerDomain names the peer's administrative domain.
+	PeerDomain() string
+	// PeerRequest forwards a service request.
+	PeerRequest(req Request) (*Offer, error)
+}
+
+// PeerDomain implements Peer for the local broker.
+func (b *Broker) PeerDomain() string { return b.cfg.Domain }
+
+// PeerRequest implements Peer for the local broker.
+func (b *Broker) PeerRequest(req Request) (*Offer, error) { return b.RequestService(req) }
+
+var _ Peer = (*Broker)(nil)
+
+// ErrNoDomainCanServe is returned when the local broker and every
+// reachable neighbor decline a request.
+var ErrNoDomainCanServe = errors.New("core: no domain can serve the request")
+
+// Federation fronts a home broker with a set of neighbors. It is safe for
+// concurrent use.
+type Federation struct {
+	home *Broker
+
+	mu    sync.Mutex
+	peers []Peer
+}
+
+// NewFederation returns a federation around the home broker.
+func NewFederation(home *Broker) *Federation {
+	return &Federation{home: home}
+}
+
+// Home returns the local broker.
+func (f *Federation) Home() *Broker { return f.home }
+
+// AddPeer registers a neighboring AQoS. Peers are tried in registration
+// order.
+func (f *Federation) AddPeer(p Peer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peers = append(f.peers, p)
+}
+
+// Peers returns the neighbor domain names in trial order.
+func (f *Federation) Peers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.peers))
+	for i, p := range f.peers {
+		out[i] = p.PeerDomain()
+	}
+	return out
+}
+
+// FederatedOffer is an Offer annotated with the domain that produced it.
+type FederatedOffer struct {
+	Offer
+	// Domain is the administrative domain whose broker made the offer;
+	// Accept/Reject/Invoke must be addressed there.
+	Domain string
+	// Forwarded reports that the home domain declined and a neighbor
+	// served the request.
+	Forwarded bool
+}
+
+// RequestService tries the home broker first, then each neighbor. It
+// returns the first successful offer; when everyone declines it returns
+// ErrNoDomainCanServe wrapping the home broker's error.
+func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
+	homeOffer, homeErr := f.home.RequestService(req)
+	if homeErr == nil {
+		return &FederatedOffer{Offer: *homeOffer, Domain: f.home.cfg.Domain}, nil
+	}
+	// Validation failures are the client's problem, not a capacity
+	// issue: do not forward them.
+	if !errors.Is(homeErr, ErrNoService) && !errors.Is(homeErr, ErrCannotHonor) &&
+		!errors.Is(homeErr, ErrOverBudget) && !isCapacityError(homeErr) {
+		return nil, homeErr
+	}
+
+	f.mu.Lock()
+	peers := append([]Peer(nil), f.peers...)
+	f.mu.Unlock()
+
+	var attempts []string
+	for _, p := range peers {
+		offer, err := p.PeerRequest(req)
+		if err == nil {
+			f.home.logf("federation", "", "request for %q forwarded to neighbor %q", req.Service, p.PeerDomain())
+			return &FederatedOffer{Offer: *offer, Domain: p.PeerDomain(), Forwarded: true}, nil
+		}
+		attempts = append(attempts, fmt.Sprintf("%s: %v", p.PeerDomain(), err))
+	}
+	sort.Strings(attempts)
+	return nil, fmt.Errorf("%w: home %q: %v; neighbors: %v",
+		ErrNoDomainCanServe, f.home.cfg.Domain, homeErr, attempts)
+}
+
+// isCapacityError reports whether err stems from resource shortage (which
+// a neighbor with different capacity might not share).
+func isCapacityError(err error) bool {
+	return errors.Is(err, ErrCannotHonor) || errors.Is(err, ErrBestEffortFull)
+}
+
+// Mount installs the federation's SOAP handlers: everything the home
+// broker serves, with service_request replaced by the federated version —
+// offers carry an extra Domain so clients know where to conclude the SLA.
+func (f *Federation) Mount(mux *soapx.Mux) {
+	f.home.Mount(mux)
+	mux.Handle("service_request", func(body []byte) (any, error) {
+		var req xmlmsg.ServiceRequestXML
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		r, err := decodeRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		offer, err := f.RequestService(r)
+		if err != nil {
+			return nil, err
+		}
+		return &xmlmsg.ServiceOfferXML{
+			SLA:     sla.EncodeDocument(offer.SLA),
+			Price:   offer.Price,
+			Expires: offer.Expires.Format(xmlmsg.TimeLayout),
+			Domain:  offer.Domain,
+		}, nil
+	})
+}
+
+// PeerClient adapts a remote broker client to the Peer interface.
+type PeerClient struct {
+	// Domain is the remote domain's name.
+	Domain string
+	// Client is the SOAP client pointed at the remote broker.
+	Client *Client
+}
+
+// PeerDomain implements Peer.
+func (p *PeerClient) PeerDomain() string { return p.Domain }
+
+// PeerRequest implements Peer: the remote offer's wire form is decoded
+// back into an Offer (the remote broker holds the session; only the
+// document and price travel).
+func (p *PeerClient) PeerRequest(req Request) (*Offer, error) {
+	resp, err := p.Client.RequestService(req)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := decodeOfferSLA(resp)
+	if err != nil {
+		return nil, err
+	}
+	offer := &Offer{SLA: doc, Price: resp.Price}
+	if resp.Expires != "" {
+		if t, err := time.Parse(xmlmsg.TimeLayout, resp.Expires); err == nil {
+			offer.Expires = t
+		}
+	}
+	return offer, nil
+}
+
+var _ Peer = (*PeerClient)(nil)

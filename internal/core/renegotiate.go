@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// This file implements the QoS Re-negotiation function of the Active phase
+// (Fig. 3, and the phase-5 interaction of Fig. 4): a client renegotiates a
+// running session's QoS specification. The pricing component "plays a
+// major role" (§1.1): the new quality is re-priced and the difference
+// charged or refunded. Upward renegotiation may trigger scenario-1
+// compensation exactly like a new request.
+
+// RenegotiationResult reports the outcome of a Renegotiate call.
+type RenegotiationResult struct {
+	SLA sla.ID
+	// Old and New are the allocations before and after.
+	Old, New resource.Capacity
+	// PriceDelta is the charge (positive) or refund (negative) applied.
+	PriceDelta float64
+	// Compensated reports that scenario-1 adaptation ran to make room.
+	Compensated bool
+}
+
+// Renegotiate replaces a live session's QoS specification with newSpec,
+// reallocating to the best level the new specification and current
+// capacity allow (guaranteed class: the exact new values). The session
+// keeps its identity, reservation handle and validity window; only
+// quality and price change. On failure the previous agreement stands.
+func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult, error) {
+	if err := newSpec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(newSpec.Params) == 0 {
+		return nil, fmt.Errorf("core: renegotiation needs QoS parameters")
+	}
+
+	b.mu.Lock()
+	s, ok := b.sessions[id]
+	if !ok {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	if s.doc.State.Terminal() || s.doc.State == sla.StateProposed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
+	}
+	class := s.doc.Class
+	oldSpec := s.doc.Spec.Clone()
+	oldAlloc := s.doc.Allocated
+	handle := s.handle
+	b.mu.Unlock()
+
+	// Network endpoints cannot move mid-session (the flow is pinned);
+	// inherit them when absent.
+	if newSpec.SourceIP == "" {
+		newSpec.SourceIP = oldSpec.SourceIP
+	}
+	if newSpec.DestIP == "" {
+		newSpec.DestIP = oldSpec.DestIP
+	}
+
+	// Target quality: the best level the new spec allows within current
+	// headroom plus what the session already holds.
+	target := newSpec.Best()
+	if class == sla.ClassControlledLoad {
+		room := b.alloc.AvailableGuaranteed().Add(oldAlloc)
+		target = newSpec.Clamp(target.Min(room)).Max(newSpec.Floor())
+	}
+	floor := newSpec.Floor()
+
+	res := &RenegotiationResult{SLA: id, Old: oldAlloc}
+	grant, err := b.alloc.AllocateGuaranteed(string(id), target, floor)
+	if err != nil {
+		// Scenario-1 compensation, then retry once. The session's own
+		// current hold is being replaced, so only the increment beyond
+		// it must be freed.
+		needed := floor.Sub(oldAlloc).ClampMin(resource.Capacity{})
+		freed, cerr := b.compensate(needed)
+		if cerr != nil {
+			return nil, fmt.Errorf("core: renegotiate %s: %w (compensation: %v)", id, err, cerr)
+		}
+		res.Compensated = freed
+		grant, err = b.alloc.AllocateGuaranteed(string(id), target, floor)
+		if err != nil {
+			// Restore the previous grant before reporting failure.
+			_, _ = b.alloc.AllocateGuaranteed(string(id), oldAlloc, oldSpec.Floor())
+			return nil, fmt.Errorf("core: renegotiate %s after compensation: %w", id, err)
+		}
+	}
+	granted := grant.Granted
+
+	// Push the new reservation; on failure roll the allocator back.
+	if err := b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id))); err != nil {
+		_, _ = b.alloc.AllocateGuaranteed(string(id), oldAlloc, oldSpec.Floor())
+		return nil, fmt.Errorf("core: renegotiate %s: %w", id, err)
+	}
+
+	// Commit: new spec, allocation, price; re-derive the alternative
+	// QoS fallback from the new floor.
+	delta := b.prices.Cost(class, granted) - b.prices.Cost(class, oldAlloc)
+	b.mu.Lock()
+	s.doc.Spec = newSpec.Clone()
+	s.doc.Allocated = granted
+	s.doc.Price += delta
+	s.doc.Adapt.AlternativeQoS = floor
+	s.original = granted
+	s.degraded = false
+	if s.doc.State == sla.StateDegraded {
+		_ = s.doc.Transition(sla.StateActive)
+	}
+	b.logLocked("renegotiate", id, "QoS renegotiated %v -> %v (price %+.2f)", oldAlloc, granted, delta)
+	b.mu.Unlock()
+
+	switch {
+	case delta > 0:
+		b.ledger.Charge(id, delta, b.clock.Now(), "renegotiation upgrade")
+	case delta < 0:
+		b.ledger.Record(entryRefund(id, -delta, b))
+	}
+	b.persist(id)
+
+	res.New = granted
+	res.PriceDelta = delta
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+	"gqosm/internal/soapx"
+)
+
+// TestFigure5Testbed runs the Fig. 5 architecture end to end: a client
+// speaking SOAP over HTTP to the AQoS broker, exercising all four Fig. 7
+// client actions (request with QoS properties, accept offer, verification
+// test, terminate).
+func TestFigure5Testbed(t *testing.T) {
+	h := newHarness(t)
+	mux := soapx.NewMux()
+	h.broker.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// (a) Request a service with QoS properties.
+	offer, err := client.RequestService(guaranteedRequest())
+	if err != nil {
+		t.Fatalf("remote RequestService: %v", err)
+	}
+	if offer.Price <= 0 || offer.SLA.SLAID == "" {
+		t.Fatalf("offer = %+v", offer)
+	}
+	if !strings.Contains(offer.SLA.Class, "Guaranteed") {
+		t.Errorf("offer class = %q", offer.SLA.Class)
+	}
+	id := sla.ID(offer.SLA.SLAID)
+
+	// (b) Accept the SLA offer.
+	if _, err := client.Act(id, "accept", ""); err != nil {
+		t.Fatalf("remote accept: %v", err)
+	}
+	doc, err := h.broker.Session(id)
+	if err != nil || doc.State != sla.StateEstablished {
+		t.Fatalf("after remote accept: %v %v", doc, err)
+	}
+
+	// Invoke over the wire.
+	detail, err := client.Act(id, "invoke", "")
+	if err != nil {
+		t.Fatalf("remote invoke: %v", err)
+	}
+	if !strings.Contains(detail, "pid") {
+		t.Errorf("invoke detail = %q", detail)
+	}
+
+	// (d) Explicit SLA verification test returns the Table-3 document.
+	levels, err := client.Verify(id)
+	if err != nil {
+		t.Fatalf("remote verify: %v", err)
+	}
+	if levels.SLAID != string(id) || !levels.Conforms {
+		t.Errorf("QoS_Levels = %+v", levels)
+	}
+	if levels.Network == nil || !strings.Contains(levels.Network.Bandwidth, "Mbps") {
+		t.Errorf("network levels = %+v", levels.Network)
+	}
+
+	// Terminate over the wire.
+	if _, err := client.Act(id, "terminate", "done"); err != nil {
+		t.Fatalf("remote terminate: %v", err)
+	}
+	doc, _ = h.broker.Session(id)
+	if doc.State != sla.StateTerminated {
+		t.Errorf("state = %v", doc.State)
+	}
+}
+
+func TestTransportReject(t *testing.T) {
+	h := newHarness(t)
+	mux := soapx.NewMux()
+	h.broker.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	offer, err := client.RequestService(guaranteedRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (c) Reject the SLA offer.
+	if _, err := client.Act(sla.ID(offer.SLA.SLAID), "reject", "too pricey"); err != nil {
+		t.Fatalf("remote reject: %v", err)
+	}
+	if got := h.pool.InUse(t0).CPU; got != 0 {
+		t.Errorf("pool holds %g CPU after remote reject", got)
+	}
+}
+
+func TestTransportBestEffort(t *testing.T) {
+	h := newHarness(t)
+	mux := soapx.NewMux()
+	h.broker.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	if err := client.BestEffort("student", resource.Nodes(4), false); err != nil {
+		t.Fatalf("remote best effort: %v", err)
+	}
+	if got, ok := h.broker.Allocator().BestEffortAllocation("student"); !ok || got.CPU != 4 {
+		t.Errorf("allocation = %v, %v", got, ok)
+	}
+	if err := client.BestEffort("student", resource.Capacity{}, true); err != nil {
+		t.Fatalf("remote release: %v", err)
+	}
+	if _, ok := h.broker.Allocator().BestEffortAllocation("student"); ok {
+		t.Error("allocation survived release")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	h := newHarness(t)
+	mux := soapx.NewMux()
+	h.broker.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Unknown SLA surfaces as a fault.
+	var fault *soapx.Fault
+	if _, err := client.Act("ghost", "accept", ""); !errors.As(err, &fault) {
+		t.Errorf("err = %v, want fault", err)
+	}
+	// Unknown action.
+	if _, err := client.Act("ghost", "dance", ""); !errors.As(err, &fault) {
+		t.Errorf("err = %v, want fault", err)
+	}
+	// A request no registered service can satisfy.
+	bad := guaranteedRequest()
+	bad.Service = "nothing"
+	if _, err := client.RequestService(bad); !errors.As(err, &fault) {
+		t.Errorf("err = %v, want fault", err)
+	}
+	if !strings.Contains(fault.String, "no service") {
+		t.Errorf("fault = %+v", fault)
+	}
+	// Bad class is rejected at decode.
+	req := guaranteedRequest()
+	req.Class = sla.Class(42)
+	if _, err := client.RequestService(req); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestTransportRangeAndListSpecs(t *testing.T) {
+	h := newHarness(t)
+	mux := soapx.NewMux()
+	h.broker.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	req := controlledRequest("remote-cl")
+	req.Spec.Params[resource.DiskGB] = sla.List(resource.DiskGB, 10, 20, 40)
+	offer, err := client.RequestService(req)
+	if err != nil {
+		t.Fatalf("remote controlled-load request: %v", err)
+	}
+	doc, err := h.broker.Session(sla.ID(offer.SLA.SLAID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := doc.Spec.Param(resource.DiskGB)
+	if !ok || p.Form != sla.FormList || len(p.Values) != 3 {
+		t.Errorf("list param lost in transport: %+v", p)
+	}
+	p, ok = doc.Spec.Param(resource.CPU)
+	if !ok || p.Form != sla.FormRange || p.Min != 2 || p.Max != 8 {
+		t.Errorf("range param lost in transport: %+v", p)
+	}
+}

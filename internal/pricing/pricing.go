@@ -1,0 +1,288 @@
+// Package pricing implements the G-QoSM cost model (paper §5.3): every QoS
+// parameter p_i has a constant unit rate c_i set by the pricing formula of
+// the user's service class, the monetary cost of one parameter is
+// cost(p_i) = c_i · p_i, and the cost of a service's QoS set is
+// Σ_i c_i · p_i. The broker's optimization heuristic maximizes the sum of
+// these service costs across active services, and the pricing component
+// "plays a major role in proposing new QoS offers" during re-negotiation —
+// including the promotion offers of §4 scenario 2.
+package pricing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// Rates holds the per-unit rate c_i for each resource dimension.
+type Rates struct {
+	// PerCPUNode is the rate per processor node per session.
+	PerCPUNode float64
+	// PerMemoryMB is the rate per megabyte of memory.
+	PerMemoryMB float64
+	// PerDiskGB is the rate per gigabyte of disk.
+	PerDiskGB float64
+	// PerMbps is the rate per Mbps of bandwidth.
+	PerMbps float64
+}
+
+// Rate returns c_i for dimension k.
+func (r Rates) Rate(k resource.Kind) float64 {
+	switch k {
+	case resource.CPU:
+		return r.PerCPUNode
+	case resource.MemoryMB:
+		return r.PerMemoryMB
+	case resource.DiskGB:
+		return r.PerDiskGB
+	case resource.BandwidthMbps:
+		return r.PerMbps
+	default:
+		return 0
+	}
+}
+
+// Cost returns Σ_i c_i · p_i for the capacity c.
+func (r Rates) Cost(c resource.Capacity) float64 {
+	total := 0.0
+	for _, k := range resource.Kinds {
+		total += r.Rate(k) * c.Get(k)
+	}
+	return total
+}
+
+// DefaultRates are the rates used by examples and experiments: chosen so a
+// §5.6-scale request (10 nodes, 2 GB, 15 GB disk, 667 Mbps aggregate) costs
+// a round ~100 units for the guaranteed class.
+var DefaultRates = Rates{
+	PerCPUNode:  4.0,
+	PerMemoryMB: 0.005,
+	PerDiskGB:   0.2,
+	PerMbps:     0.05,
+}
+
+// Model is the class-aware pricing formula: base rates scaled by a
+// per-class multiplier (the paper: "users who are willing to pay different
+// amounts to access Grid services" and providers that "alter their
+// provision costs" per class).
+type Model struct {
+	Base Rates
+	// ClassFactor scales the base rates per service class. Guaranteed
+	// service costs more than controlled-load, which costs more than
+	// best-effort.
+	ClassFactor map[sla.Class]float64
+	// PromotionDiscount is the fractional discount applied to the
+	// *upgrade increment* in a promotion offer (scenario 2c), e.g. 0.25
+	// means the upgrade is offered at 75% of its list price.
+	PromotionDiscount float64
+}
+
+// NewModel returns a model with the paper-motivated default class factors.
+func NewModel(base Rates) *Model {
+	return &Model{
+		Base: base,
+		ClassFactor: map[sla.Class]float64{
+			sla.ClassGuaranteed:     1.5,
+			sla.ClassControlledLoad: 1.0,
+			sla.ClassBestEffort:     0.25,
+		},
+		PromotionDiscount: 0.25,
+	}
+}
+
+// ClassRates returns the effective rates for a class.
+func (m *Model) ClassRates(class sla.Class) Rates {
+	f, ok := m.ClassFactor[class]
+	if !ok {
+		f = 1.0
+	}
+	return Rates{
+		PerCPUNode:  m.Base.PerCPUNode * f,
+		PerMemoryMB: m.Base.PerMemoryMB * f,
+		PerDiskGB:   m.Base.PerDiskGB * f,
+		PerMbps:     m.Base.PerMbps * f,
+	}
+}
+
+// Cost returns the session cost of delivering capacity c to a client of
+// the given class.
+func (m *Model) Cost(class sla.Class, c resource.Capacity) float64 {
+	return m.ClassRates(class).Cost(c)
+}
+
+// CostOfDocument prices an SLA at its currently allocated capacity,
+// recursing into sub-SLAs of composite agreements.
+func (m *Model) CostOfDocument(d *sla.Document) float64 {
+	if len(d.SubSLAs) == 0 {
+		return m.Cost(d.Class, d.Allocated)
+	}
+	total := 0.0
+	for _, sub := range d.SubSLAs {
+		total += m.CostOfDocument(sub)
+	}
+	return total
+}
+
+// PromotionOffer is a discounted upgrade proposed to a running service
+// when released capacity becomes available (scenario 2c: "presenting
+// promotion offers to existing services for upgrading their QoS to attract
+// additional resource requests").
+type PromotionOffer struct {
+	SLA      sla.ID
+	From, To resource.Capacity
+	// ListPrice is the undiscounted price of the upgrade increment.
+	ListPrice float64
+	// OfferPrice is the discounted price actually proposed.
+	OfferPrice float64
+	Expires    time.Time
+}
+
+// Promotion builds a promotion offer for upgrading an SLA from its current
+// allocation to the proposed capacity. It returns false when the proposal
+// is not an upgrade or the SLA did not opt in to promotion offers.
+func (m *Model) Promotion(d *sla.Document, to resource.Capacity, expires time.Time) (PromotionOffer, bool) {
+	if !d.Adapt.PromotionOffers {
+		return PromotionOffer{}, false
+	}
+	increment := to.Sub(d.Allocated)
+	if !increment.IsNonNegative() || increment.IsZero() {
+		return PromotionOffer{}, false
+	}
+	list := m.Cost(d.Class, increment)
+	return PromotionOffer{
+		SLA:        d.ID,
+		From:       d.Allocated,
+		To:         to,
+		ListPrice:  list,
+		OfferPrice: list * (1 - m.PromotionDiscount),
+		Expires:    expires,
+	}, true
+}
+
+// PenaltyFor computes the monetary penalty owed for a violation episode of
+// the given duration below the SLA floor.
+func PenaltyFor(p sla.Penalty, below time.Duration) float64 {
+	return p.PerViolation + p.PerHourBelow*below.Hours()
+}
+
+// EntryKind labels ledger entries.
+type EntryKind int
+
+// Ledger entry kinds.
+const (
+	EntryCharge EntryKind = iota + 1 // revenue from a client
+	EntryPenalty
+	EntryPromotion // revenue from an accepted promotion offer
+	EntryRefund
+)
+
+// String returns the entry-kind name.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryCharge:
+		return "charge"
+	case EntryPenalty:
+		return "penalty"
+	case EntryPromotion:
+		return "promotion"
+	case EntryRefund:
+		return "refund"
+	default:
+		return fmt.Sprintf("entry(%d)", int(k))
+	}
+}
+
+// Entry is one accounting record.
+type Entry struct {
+	Kind   EntryKind
+	SLA    sla.ID
+	Amount float64 // positive = provider revenue; positive penalties/refunds reduce NetRevenue
+	At     time.Time
+	Note   string
+}
+
+// Ledger accumulates the provider's accounting (the "QoS Accounting"
+// function of Fig. 3). It is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Record appends an entry.
+func (l *Ledger) Record(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Charge records client revenue for an SLA.
+func (l *Ledger) Charge(id sla.ID, amount float64, at time.Time, note string) {
+	l.Record(Entry{Kind: EntryCharge, SLA: id, Amount: amount, At: at, Note: note})
+}
+
+// Penalize records a violation penalty paid by the provider.
+func (l *Ledger) Penalize(id sla.ID, amount float64, at time.Time, note string) {
+	l.Record(Entry{Kind: EntryPenalty, SLA: id, Amount: amount, At: at, Note: note})
+}
+
+// NetRevenue returns charges + promotions − penalties − refunds.
+func (l *Ledger) NetRevenue() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0.0
+	for _, e := range l.entries {
+		switch e.Kind {
+		case EntryCharge, EntryPromotion:
+			total += e.Amount
+		case EntryPenalty, EntryRefund:
+			total -= e.Amount
+		}
+	}
+	return total
+}
+
+// BySLA returns the net amount attributed to each SLA, sorted by ID.
+func (l *Ledger) BySLA() []struct {
+	SLA sla.ID
+	Net float64
+} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	agg := make(map[sla.ID]float64)
+	for _, e := range l.entries {
+		switch e.Kind {
+		case EntryCharge, EntryPromotion:
+			agg[e.SLA] += e.Amount
+		case EntryPenalty, EntryRefund:
+			agg[e.SLA] -= e.Amount
+		}
+	}
+	ids := make([]sla.ID, 0, len(agg))
+	for id := range agg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]struct {
+		SLA sla.ID
+		Net float64
+	}, len(ids))
+	for i, id := range ids {
+		out[i].SLA = id
+		out[i].Net = agg[id]
+	}
+	return out
+}
+
+// Entries returns a copy of all entries in insertion order.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.entries...)
+}

@@ -1,0 +1,72 @@
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrUnknownPool is returned for lookups of pools not registered in a
+// domain.
+var ErrUnknownPool = errors.New("resource: unknown pool")
+
+// Domain is an administrative domain (paper §2.1: "a domain can be defined
+// via an IP mask or as an administrative domain … and contains a set of
+// services over which the RM has administrative and configuration
+// control"). It groups named pools — e.g. the site-A SGI machine's
+// processor pool and a storage pool — under one resource manager.
+type Domain struct {
+	name string
+
+	mu    sync.Mutex
+	pools map[string]*Pool
+}
+
+// NewDomain returns an empty domain named name.
+func NewDomain(name string) *Domain {
+	return &Domain{name: name, pools: make(map[string]*Pool)}
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// AddPool registers a pool. It replaces any existing pool with the same
+// name.
+func (d *Domain) AddPool(p *Pool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pools[p.Name()] = p
+}
+
+// Pool returns the pool with the given name.
+func (d *Domain) Pool(name string) (*Pool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pools[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in domain %q", ErrUnknownPool, name, d.name)
+	}
+	return p, nil
+}
+
+// Pools returns all pools ordered by name.
+func (d *Domain) Pools() []*Pool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Pool, 0, len(d.pools))
+	for _, p := range d.pools {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// TotalCapacity sums the configured capacity of every pool in the domain.
+func (d *Domain) TotalCapacity() Capacity {
+	var sum Capacity
+	for _, p := range d.Pools() {
+		sum = sum.Add(p.Total())
+	}
+	return sum
+}

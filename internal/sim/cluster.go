@@ -1,0 +1,155 @@
+// Package sim provides the discrete-event simulation harness behind the
+// repository's experiments: a single-domain G-QoSM cluster assembled from
+// all substrates, deterministic synthetic workloads (the stand-in for the
+// paper's testbed traffic), and runners that regenerate every experiment
+// in DESIGN.md's index (E56, C1–C5 and the ablations).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"gqosm/internal/clockx"
+	"gqosm/internal/core"
+	"gqosm/internal/gara"
+	"gqosm/internal/gram"
+	"gqosm/internal/mds"
+	"gqosm/internal/nrm"
+	"gqosm/internal/registry"
+	"gqosm/internal/resource"
+)
+
+// Epoch is the simulated start of every experiment: the Monday of the
+// Middleware 2003 conference week.
+var Epoch = time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+
+// ClusterConfig sizes a simulated single-domain deployment.
+type ClusterConfig struct {
+	// Plan is the Algorithm-1 partition (required).
+	Plan core.CapacityPlan
+	// Services to pre-register for discovery; when empty a catch-all
+	// "simulation" service advertising the plan's total capacity is
+	// registered.
+	Services []registry.Service
+	// WithNetwork adds the §5.6 three-site topology (site-a/b/c with a
+	// 1000 Mbps B–A link and a 100 Mbps C–A link).
+	WithNetwork bool
+	// ConfirmWindow for offers; default 2 minutes.
+	ConfirmWindow time.Duration
+	// MinOptimizerGain forwarded to the broker.
+	MinOptimizerGain float64
+}
+
+// Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
+// testbed driven by a manual clock.
+type Cluster struct {
+	Clock    *clockx.Manual
+	Broker   *core.Broker
+	Pool     *resource.Pool
+	Topo     *nrm.Topology
+	NetMgr   *nrm.Manager
+	Registry *registry.Registry
+	MDS      *mds.Directory
+	GRAM     *gram.Manager
+	GARA     *gara.System
+}
+
+// NewCluster assembles a cluster at the Epoch.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	clock := clockx.NewManual(Epoch)
+	total := cfg.Plan.Total()
+	pool := resource.NewPool("machine", total)
+
+	var (
+		topo   *nrm.Topology
+		netMgr *nrm.Manager
+	)
+	g := gara.NewSystem()
+	g.RegisterManager(gara.NewComputeManager(pool))
+	if cfg.WithNetwork {
+		topo = nrm.NewTopology()
+		for _, d := range []struct{ name, cidr string }{
+			{"site-a", "192.200.168.0/24"},
+			{"site-b", "135.200.50.0/24"},
+			{"site-c", "10.10.0.0/16"},
+		} {
+			if err := topo.AddDomain(d.name, d.cidr); err != nil {
+				return nil, err
+			}
+		}
+		if err := topo.AddLink("site-a", "site-b", 1000); err != nil {
+			return nil, err
+		}
+		if err := topo.AddLink("site-a", "site-c", 100); err != nil {
+			return nil, err
+		}
+		netMgr = nrm.NewManager("site-a", topo)
+		g.RegisterManager(gara.NewNetworkManager(netMgr))
+	}
+
+	reg := registry.New(clock)
+	services := cfg.Services
+	if len(services) == 0 {
+		services = []registry.Service{{
+			Name:     "simulation",
+			Provider: "site-a",
+			Properties: []registry.Property{
+				registry.NumProp("cpu-nodes", total.CPU),
+				registry.NumProp("memory-mb", total.MemoryMB),
+				registry.NumProp("disk-gb", total.DiskGB),
+				registry.NumProp("bandwidth-mbps", 1000),
+			},
+		}}
+	}
+	for _, s := range services {
+		if _, err := reg.Register(s); err != nil {
+			return nil, err
+		}
+	}
+
+	dir := mds.NewDirectory()
+	if err := dir.Register("machine", func() mds.Attributes {
+		now := clock.Now()
+		return mds.Attributes{
+			"cpu-total": fmt.Sprintf("%g", pool.Total().CPU),
+			"cpu-free":  fmt.Sprintf("%g", pool.Available(now).CPU),
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	gramM := gram.NewManager(clock)
+
+	broker, err := core.NewBroker(core.Config{
+		Domain:           "site-a",
+		Clock:            clock,
+		Plan:             cfg.Plan,
+		Registry:         reg,
+		GARA:             g,
+		GRAM:             gramM,
+		NRM:              netMgr,
+		MDS:              dir,
+		ConfirmWindow:    cfg.ConfirmWindow,
+		MinOptimizerGain: cfg.MinOptimizerGain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		Clock:    clock,
+		Broker:   broker,
+		Pool:     pool,
+		Topo:     topo,
+		NetMgr:   netMgr,
+		Registry: reg,
+		MDS:      dir,
+		GRAM:     gramM,
+		GARA:     g,
+	}, nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.Broker.Close()
+	c.GRAM.Close()
+}

@@ -1,0 +1,208 @@
+// Package soapx is a minimal SOAP 1.1-over-HTTP transport, standing in for
+// the Tomcat/Axis stack of the paper's testbed (§6, Fig. 5: "Clients send
+// XML messages to the AQoS broker using SOAP over HTTP"). It provides
+// envelope marshaling, a server mux that dispatches on the body element's
+// local name, and a client.
+package soapx
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Namespace constants.
+const (
+	// EnvelopeNS is the SOAP 1.1 envelope namespace.
+	EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	// ContentType is the SOAP 1.1 HTTP content type.
+	ContentType = "text/xml; charset=utf-8"
+)
+
+// Fault is a SOAP fault, used both as a wire document and a Go error.
+type Fault struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+type envelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    body     `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type body struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Marshal wraps the XML encoding of payload in a SOAP envelope.
+func Marshal(payload any) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soapx: marshal body: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body>`)
+	buf.Write(inner)
+	buf.WriteString(`</soap:Body></soap:Envelope>`)
+	return buf.Bytes(), nil
+}
+
+// bodyElement returns the local name of the first element inside the Body
+// and the raw body bytes.
+func bodyElement(data []byte) (string, []byte, error) {
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return "", nil, fmt.Errorf("soapx: bad envelope: %w", err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(env.Body.Inner))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return "", nil, errors.New("soapx: empty body")
+			}
+			return "", nil, fmt.Errorf("soapx: bad body: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return start.Name.Local, env.Body.Inner, nil
+		}
+	}
+}
+
+// Unmarshal extracts the body payload of a SOAP envelope into v. If the
+// body is a Fault it is returned as the error.
+func Unmarshal(data []byte, v any) error {
+	name, inner, err := bodyElement(data)
+	if err != nil {
+		return err
+	}
+	if name == "Fault" {
+		var f Fault
+		if err := xml.Unmarshal(inner, &f); err != nil {
+			return fmt.Errorf("soapx: bad fault: %w", err)
+		}
+		return &f
+	}
+	if err := xml.Unmarshal(inner, v); err != nil {
+		return fmt.Errorf("soapx: unmarshal body: %w", err)
+	}
+	return nil
+}
+
+// HandlerFunc processes one decoded request body and returns the response
+// payload (marshaled into the response envelope) or an error (returned as
+// a fault). The raw body bytes are provided; implementations unmarshal
+// into their request type.
+type HandlerFunc func(body []byte) (any, error)
+
+// Mux dispatches SOAP requests on the body element's local name. It
+// implements http.Handler. Safe for concurrent use.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]HandlerFunc)}
+}
+
+// Handle registers a handler for the given body element name, replacing
+// any previous handler.
+func (m *Mux) Handle(element string, h HandlerFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[element] = h
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeFault(w, http.StatusMethodNotAllowed, "Client", "SOAP requires POST", "")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, "Client", "read body", err.Error())
+		return
+	}
+	name, inner, err := bodyElement(data)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, "Client", "bad envelope", err.Error())
+		return
+	}
+	m.mu.RLock()
+	h, ok := m.handlers[name]
+	m.mu.RUnlock()
+	if !ok {
+		writeFault(w, http.StatusBadRequest, "Client", "no handler for "+name, "")
+		return
+	}
+	resp, err := h(inner)
+	if err != nil {
+		writeFault(w, http.StatusInternalServerError, "Server", err.Error(), "")
+		return
+	}
+	out, err := Marshal(resp)
+	if err != nil {
+		writeFault(w, http.StatusInternalServerError, "Server", "marshal response", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	_, _ = w.Write(out)
+}
+
+func writeFault(w http.ResponseWriter, status int, code, msg, detail string) {
+	f := Fault{Code: "soap:" + code, String: msg, Detail: detail}
+	out, err := Marshal(&f)
+	if err != nil {
+		http.Error(w, msg, status)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(out)
+}
+
+// Client calls SOAP endpoints.
+type Client struct {
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Endpoint is the service URL.
+	Endpoint string
+}
+
+// Call sends request (marshaled into an envelope) and decodes the response
+// body into response. SOAP faults are returned as *Fault errors.
+func (c *Client) Call(request, response any) error {
+	data, err := Marshal(request)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(c.Endpoint, ContentType, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("soapx: post %s: %w", c.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("soapx: read response: %w", err)
+	}
+	return Unmarshal(out, response)
+}

@@ -1,0 +1,157 @@
+package soapx
+
+import (
+	"encoding/xml"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type pingReq struct {
+	XMLName xml.Name `xml:"ping"`
+	Message string   `xml:"message"`
+}
+
+type pingResp struct {
+	XMLName xml.Name `xml:"pingResponse"`
+	Echo    string   `xml:"echo"`
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	data, err := Marshal(&pingReq{Message: "hello <grid>"})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "<soap:Envelope") || !strings.Contains(s, "<soap:Body>") {
+		t.Fatalf("envelope missing: %s", s)
+	}
+	var req pingReq
+	if err := Unmarshal(data, &req); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if req.Message != "hello <grid>" {
+		t.Errorf("Message = %q (escaping broken?)", req.Message)
+	}
+}
+
+func TestUnmarshalFault(t *testing.T) {
+	data, err := Marshal(&Fault{Code: "soap:Server", String: "boom", Detail: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp pingResp
+	err = Unmarshal(data, &resp)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if f.String != "boom" || !strings.Contains(f.Error(), "boom") {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if err := Unmarshal([]byte("not xml"), &pingReq{}); err == nil {
+		t.Error("bad envelope accepted")
+	}
+	empty := []byte(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body></soap:Body></soap:Envelope>`)
+	if err := Unmarshal(empty, &pingReq{}); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func newEchoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := NewMux()
+	mux.Handle("ping", func(body []byte) (any, error) {
+		var req pingReq
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Message == "fail" {
+			return nil, errors.New("handler exploded")
+		}
+		return &pingResp{Echo: req.Message}, nil
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	srv := newEchoServer(t)
+	c := Client{Endpoint: srv.URL}
+	var resp pingResp
+	if err := c.Call(&pingReq{Message: "qos"}, &resp); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Echo != "qos" {
+		t.Errorf("Echo = %q", resp.Echo)
+	}
+}
+
+func TestServerFaultPropagatesToClient(t *testing.T) {
+	srv := newEchoServer(t)
+	c := Client{Endpoint: srv.URL}
+	var resp pingResp
+	err := c.Call(&pingReq{Message: "fail"}, &resp)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if !strings.Contains(f.String, "handler exploded") {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestServerUnknownElement(t *testing.T) {
+	srv := newEchoServer(t)
+	c := Client{Endpoint: srv.URL}
+	type nope struct {
+		XMLName xml.Name `xml:"nope"`
+	}
+	var resp pingResp
+	err := c.Call(&nope{}, &resp)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if !strings.Contains(f.String, "no handler") {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestServerRejectsGet(t *testing.T) {
+	srv := newEchoServer(t)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv := newEchoServer(t)
+	resp, err := http.Post(srv.URL, ContentType, strings.NewReader("<not-soap/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientBadEndpoint(t *testing.T) {
+	c := Client{Endpoint: "http://127.0.0.1:1/nope"}
+	var resp pingResp
+	if err := c.Call(&pingReq{Message: "x"}, &resp); err == nil {
+		t.Error("Call to dead endpoint succeeded")
+	}
+}

@@ -1,0 +1,148 @@
+package gqosm
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+func TestStackWithDSRT(t *testing.T) {
+	clock := NewManualClock(epoch)
+	stack, err := NewStack(StackConfig{
+		Clock: clock,
+		Plan: CapacityPlan{
+			Guaranteed: Capacity{CPU: 15, MemoryMB: 6144},
+			Adaptive:   Capacity{CPU: 6, MemoryMB: 2048},
+			BestEffort: Capacity{CPU: 5, MemoryMB: 2048},
+		},
+		ConfirmWindow:  time.Hour,
+		DSRTProcessors: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if stack.DSRT == nil || stack.RM == nil {
+		t.Fatal("DSRT not assembled")
+	}
+
+	offer, err := stack.Broker.RequestService(Request{
+		Service: "simulation", Client: "c", Class: ClassGuaranteed,
+		Spec:  NewSpec(Exact(CPU, 10)),
+		Start: epoch, End: epoch.Add(5 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := offer.SLA.ID
+	if err := stack.Broker.Accept(id); err != nil {
+		t.Fatal(err)
+	}
+	// Before invocation: no DSRT contracts.
+	if got := stack.DSRT.Reserved(); got != 0 {
+		t.Fatalf("Reserved before invoke = %g", got)
+	}
+	if _, err := stack.Broker.Invoke(id); err != nil {
+		t.Fatal(err)
+	}
+	// The launched process runs under a DSRT contract.
+	if got := stack.DSRT.Reserved(); got <= 0 {
+		t.Fatalf("Reserved after invoke = %g, want > 0", got)
+	}
+	reservedBefore := stack.DSRT.Reserved()
+
+	// A CPU degradation is rectified at the RM level: the share grows
+	// and no violation is recorded.
+	stack.Broker.Allocator() // touch
+	rep, err := stack.Broker.Verify(id)
+	if err != nil || !rep.Conforms {
+		t.Fatalf("healthy verify: %+v %v", rep, err)
+	}
+	// Simulate a monitor-detected CPU shortfall.
+	stackDegrade(stack, id, resource.Nodes(6))
+	if got := stack.Broker.Violations(id); got != 0 {
+		t.Errorf("violations = %d, want 0 (RM level should rectify)", got)
+	}
+	if got := stack.DSRT.Reserved(); got <= reservedBefore {
+		t.Errorf("DSRT share did not grow: %g -> %g", reservedBefore, got)
+	}
+
+	// Termination releases the DSRT contract.
+	if err := stack.Broker.Terminate(id, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if got := stack.DSRT.Reserved(); got != 0 {
+		t.Errorf("Reserved after terminate = %g, want 0", got)
+	}
+}
+
+// stackDegrade reports a below-floor measurement for the session, driving
+// the broker's degradation ladder.
+func stackDegrade(stack *Stack, id SLAID, measured Capacity) {
+	// Verify with injected failure is indirect; use NotifyFailure-style
+	// path: the broker exposes handleDegradation only through Verify and
+	// NRM callbacks, so emulate via the RM adapter check in Verify by
+	// reporting through the NRM-free path: a direct conformance check on
+	// a degraded allocator. Simplest honest route: fail capacity so the
+	// measured CPU drops below floor on the next verify.
+	_ = measured
+	stack.Broker.NotifyFailure(Nodes(12)) // C_G_eff = 3 < session's 10
+	_, _ = stack.Broker.Verify(id)
+	stack.Broker.NotifyFailure(Capacity{})
+}
+
+func TestStackRepoDirPersistsSLAs(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(epoch)
+	stack, err := NewStack(StackConfig{
+		Clock:         clock,
+		Plan:          CapacityPlan{Guaranteed: Nodes(10), BestEffort: Nodes(2)},
+		ConfirmWindow: time.Hour,
+		RepoDir:       dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	offer, err := stack.Broker.RequestService(Request{
+		Service: "simulation", Client: "c", Class: ClassGuaranteed,
+		Spec:  NewSpec(Exact(CPU, 4)),
+		Start: epoch, End: epoch.Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.Broker.Accept(offer.SLA.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The SLA landed on disk as a Table-4 XML file.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("repo dir holds %d files, want 1", len(matches))
+	}
+	// A fresh repository over the same directory sees the agreement.
+	repo, err := sla.NewFileRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := repo.Get(offer.SLA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Class != ClassGuaranteed {
+		t.Errorf("persisted class = %v", doc.Class)
+	}
+	// Bad repo dir (a path through a regular file) fails assembly.
+	if _, err := NewStack(StackConfig{
+		Plan:    CapacityPlan{Guaranteed: Nodes(1)},
+		RepoDir: filepath.Join(matches[0], "not-a-dir"),
+	}); err == nil {
+		t.Error("NewStack accepted unusable RepoDir")
+	}
+}
