@@ -15,9 +15,11 @@
 //	gridsim -experiment T2           # GARA API lifecycle transcript
 //	gridsim -experiment F4|F6        # broker interaction transcript
 //	gridsim -experiment all          # everything
+//	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,19 +34,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gridsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E56, C1..C5, T1..T4, F4, F6, all)")
-		seed       = flag.Int64("seed", 2003, "workload seed")
-		verbose    = flag.Bool("v", false, "include broker activity logs")
+		experiment = fs.String("experiment", "all", "experiment id (E56, C1..C5, T1..T4, F4, F6, all)")
+		seed       = fs.Int64("seed", 2003, "workload seed")
+		verbose    = fs.Bool("v", false, "include broker activity logs")
+		parallel   = fs.Bool("parallel", false, "run the concurrent admission stress instead of an experiment")
+		clients    = fs.Int("clients", 8, "concurrent clients for -parallel")
+		ops        = fs.Int("ops", 10000, "total lifecycle operations for -parallel")
+		phases     = fs.Int("phases", 10, "quiesce points for -parallel")
+		jsonOut    = fs.Bool("json", false, "emit -parallel results as JSON")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel {
+		return runParallel(*clients, *ops, *phases, *seed, *jsonOut)
+	}
 
 	runners := map[string]func(int64, bool) error{
 		"E56": runE56,
@@ -74,6 +87,46 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return r(*seed, *verbose)
+}
+
+// runParallel drives the concurrent admission stress (sim.RunParallel)
+// against a serial baseline with the same total work, checking the
+// invariant suite at every quiesce point. The JSON form is the shape
+// recorded in BENCH_parallel.json.
+func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
+	serial, err := sim.RunParallel(sim.ParallelConfig{
+		Clients: 1, Ops: ops, Phases: phases, Seed: seed,
+	})
+	if err != nil {
+		return fmt.Errorf("serial baseline: %w", err)
+	}
+	par, err := sim.RunParallel(sim.ParallelConfig{
+		Clients: clients, Ops: ops, Phases: phases, Seed: seed,
+	})
+	if err != nil {
+		return fmt.Errorf("parallel stress: %w", err)
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(map[string]*sim.ParallelResult{
+			"serial": serial, "parallel": par,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	header("PAR", "concurrent admission stress: serial baseline vs parallel clients")
+	for _, row := range []struct {
+		name string
+		r    *sim.ParallelResult
+	}{{"serial", serial}, {"parallel", par}} {
+		fmt.Printf("%-9s clients=%-3d ops=%-6d requested=%-5d admitted=%-5d terminated=%-5d checks=%d  %8.0f ops/s\n",
+			row.name, row.r.Clients, row.r.Ops, row.r.Requested,
+			row.r.Admitted, row.r.Terminated, row.r.Checks, row.r.OpsPerSec)
+	}
+	fmt.Println("\nall invariant checks passed; no capacity lost or double-spent")
+	return nil
 }
 
 func header(id, title string) {

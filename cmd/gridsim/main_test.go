@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"gqosm/internal/sim"
+)
+
+// runCapture runs the CLI entry point and returns its stdout.
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := run(args)
+	os.Stdout = orig
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown-experiment": {"-experiment", "Z9"},
+		"bad-flag":           {"-no-such-flag"},
+		"bad-seed":           {"-seed", "not-a-number"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := runCapture(t, args...); err == nil {
+				t.Fatalf("args %v: expected error", args)
+			}
+		})
+	}
+}
+
+func TestExperimentT1PrintsSLADocument(t *testing.T) {
+	out, err := runCapture(t, "-experiment", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "192.200.168.33", "<"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("T1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentLowercaseID(t *testing.T) {
+	out, err := runCapture(t, "-experiment", "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "globus_gara_reservation_create") {
+		t.Fatalf("t2 output:\n%s", out)
+	}
+}
+
+func TestParallelModeTable(t *testing.T) {
+	out, err := runCapture(t, "-parallel", "-clients", "2", "-ops", "200", "-phases", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serial", "parallel", "ops/s", "no capacity lost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("parallel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParallelModeJSON(t *testing.T) {
+	out, err := runCapture(t, "-parallel", "-clients", "2", "-ops", "200", "-phases", "2", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]*sim.ParallelResult
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"serial", "parallel"} {
+		r := report[key]
+		if r == nil {
+			t.Fatalf("missing %q in %s", key, out)
+		}
+		if r.Ops == 0 || r.Checks == 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("%s result degenerate: %+v", key, r)
+		}
+	}
+	if report["parallel"].Clients != 2 || report["serial"].Clients != 1 {
+		t.Fatalf("client counts wrong: %+v", report)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gqosm/internal/clockx"
@@ -120,6 +121,14 @@ type session struct {
 // for ensuring SLA conformance to allocated resources, and provides
 // support for parameter adaptation when a SLA violation is detected"
 // (§2.1). All methods are safe for concurrent use.
+//
+// Lock order: b.mu → alloc.mu → (clock, ledger, pool, NRM). b.mu is the
+// session-table lock; the allocator, the activity log (evMu) and the SLA
+// counter (nextID) each have their own synchronization so hot paths touch
+// b.mu only for session-state transitions. Components the broker calls
+// while holding b.mu (allocator, clock timer scheduling) never call back
+// into the broker; components that do call back (NRM degradation
+// callbacks, clock timer callbacks) always fire with no broker lock held.
 type Broker struct {
 	cfg    Config
 	alloc  *Allocator
@@ -127,14 +136,23 @@ type Broker struct {
 	prices *pricing.Model
 	ledger *pricing.Ledger
 	repo   sla.Repository
+	nextID atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
-	nextID   int
 	sessions map[sla.ID]*session
 	// promotions holds open scenario-2(c) offers by SLA.
 	promotions map[sla.ID]pricing.PromotionOffer
-	events     []Event
+
+	// evMu guards the activity log. It is a leaf lock: safe to take with
+	// or without b.mu held, never held while acquiring another lock.
+	evMu   sync.Mutex
+	events []Event
+
+	// debugMu guards debugHook, the optional post-operation invariant
+	// check installed by SetDebugHook.
+	debugMu   sync.Mutex
+	debugHook func(*Broker) error
 }
 
 // NewBroker assembles a broker from the config.
@@ -213,9 +231,48 @@ func (b *Broker) Repo() sla.Repository { return b.repo }
 
 // Events returns a copy of the activity log.
 func (b *Broker) Events() []Event {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.evMu.Lock()
+	defer b.evMu.Unlock()
 	return append([]Event(nil), b.events...)
+}
+
+// SetDebugHook installs fn to run after every mutating broker operation
+// (nil removes it). It is meant for invariant checking in tests and
+// simulations: fn receives the broker with no locks held and any error it
+// returns is recorded as an "invariant" event. The cross-component
+// invariants fn typically checks (session ↔ allocator consistency) only
+// hold when no other operation is in flight, so the hook is reliable only
+// under serial use; concurrent harnesses should check at quiesce points
+// instead.
+func (b *Broker) SetDebugHook(fn func(*Broker) error) {
+	b.debugMu.Lock()
+	b.debugHook = fn
+	b.debugMu.Unlock()
+}
+
+// debugCheck runs the debug hook, if any, after operation op.
+func (b *Broker) debugCheck(op string) {
+	b.debugMu.Lock()
+	fn := b.debugHook
+	b.debugMu.Unlock()
+	if fn == nil {
+		return
+	}
+	if err := fn(b); err != nil {
+		b.logf("invariant", "", "after %s: %v", op, err)
+	}
+}
+
+// DebugViolations returns the "invariant" events recorded by the debug
+// hook.
+func (b *Broker) DebugViolations() []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == "invariant" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Session returns a copy of the SLA document for the given session.
@@ -244,17 +301,17 @@ func (b *Broker) Sessions(filter func(*sla.Document) bool) []*sla.Document {
 	return out
 }
 
-// logf appends to the activity log. Callers must not hold b.mu.
+// logf appends to the activity log. The log has its own leaf mutex, so
+// this is safe with or without b.mu held.
 func (b *Broker) logf(kind string, id sla.ID, format string, args ...any) {
 	e := Event{At: b.clock.Now(), Kind: kind, SLA: id, Msg: fmt.Sprintf(format, args...)}
-	b.mu.Lock()
+	b.evMu.Lock()
 	b.events = append(b.events, e)
-	b.mu.Unlock()
+	b.evMu.Unlock()
 }
 
-// logLocked appends to the activity log with b.mu held.
+// logLocked appends to the activity log from inside a b.mu critical
+// section (same leaf lock as logf; the name records the calling context).
 func (b *Broker) logLocked(kind string, id sla.ID, format string, args ...any) {
-	b.events = append(b.events, Event{
-		At: b.clock.Now(), Kind: kind, SLA: id, Msg: fmt.Sprintf(format, args...),
-	})
+	b.logf(kind, id, format, args...)
 }

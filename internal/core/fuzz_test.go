@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"math/rand"
@@ -6,150 +6,160 @@ import (
 	"testing"
 	"time"
 
+	"gqosm/internal/core"
+	"gqosm/internal/invariant"
 	"gqosm/internal/resource"
+	"gqosm/internal/sim"
 	"gqosm/internal/sla"
 )
 
-// TestBrokerRandomOperationsInvariants drives the broker with a random but
-// deterministic operation mix — requests of every class, accepts, rejects,
-// terminations, expiry sweeps, failures and recoveries, optimizer passes —
-// and checks global invariants after every step:
+// This file drives the broker with arbitrary operation streams and checks
+// the full invariant suite after every step. The driver decodes a byte
+// string into lifecycle operations, so the same code serves both the
+// deterministic regression test (a fixed pseudo-random stream) and the
+// native fuzz target FuzzBrokerOps (corpus under
+// testdata/fuzz/FuzzBrokerOps, grown by `go test -fuzz=FuzzBrokerOps`).
+
+// driveOps decodes data as (op, arg) byte pairs and applies them to a
+// fresh single-site cluster, running invariant.CheckAll after each step.
 //
-//  1. the compute pool never holds more than its capacity (mechanism);
-//  2. the allocator never over-commits any partition (policy);
-//  3. every non-terminal session's allocation satisfies its SLA;
-//  4. terminal sessions hold no allocator grant;
-//  5. the ledger's net revenue is finite and consistent in sign.
-func TestBrokerRandomOperationsInvariants(t *testing.T) {
-	h := newHarness(t)
-	b := h.broker
-	rng := rand.New(rand.NewSource(1955)) // Middleware's CACM year
-
-	var (
-		proposed []sla.ID
-		active   []sla.ID
-	)
-	pick := func(ids []sla.ID) (sla.ID, int) {
-		i := rng.Intn(len(ids))
-		return ids[i], i
+// op%10 selects the operation, arg parameterizes it:
+//
+//	0..2  service request   arg bit0: guaranteed/controlled-load,
+//	                        bits1-3: CPU, bits4-6: duration, bit7: degrade-ok
+//	3     accept            arg indexes the proposed set
+//	4     reject            arg indexes the proposed set
+//	5     invoke            arg indexes the active set
+//	6     terminate         arg indexes the active set
+//	7     advance clock     10 + arg minutes, then ExpireDue
+//	8     failure/recovery  arg bit0 chooses; bits1-3: failed nodes
+//	9     best-effort churn arg picks client and request/release; optimizer
+func driveOps(t *testing.T, data []byte) {
+	t.Helper()
+	cluster, err := sim.NewCluster(sim.ClusterConfig{Plan: sim.DefaultParallelPlan()})
+	if err != nil {
+		t.Fatal(err)
 	}
-	remove := func(ids []sla.ID, i int) []sla.ID {
-		return append(ids[:i], ids[i+1:]...)
+	defer cluster.Close()
+	b := cluster.Broker
+	clock := cluster.Clock
+
+	var proposed, active []sla.ID
+	pop := func(ids *[]sla.ID, arg byte) (sla.ID, bool) {
+		if len(*ids) == 0 {
+			return "", false
+		}
+		i := int(arg) % len(*ids)
+		id := (*ids)[i]
+		*ids = append((*ids)[:i], (*ids)[i+1:]...)
+		return id, true
 	}
 
-	for step := 0; step < 600; step++ {
-		switch op := rng.Intn(10); {
+	for step := 0; step+1 < len(data); step += 2 {
+		op, arg := data[step]%10, data[step+1]
+		switch {
 		case op <= 2: // new request
-			var req Request
-			if rng.Intn(2) == 0 {
-				req = Request{
+			now := clock.Now()
+			cpu := float64(1 + (arg>>1)&7)
+			end := now.Add(time.Duration(1+(arg>>4)&7) * time.Hour)
+			var req core.Request
+			if arg&1 == 0 {
+				req = core.Request{
 					Service: "simulation",
 					Client:  "fuzz-g" + strconv.Itoa(step),
 					Class:   sla.ClassGuaranteed,
-					Spec:    sla.NewSpec(sla.Exact(resource.CPU, float64(1+rng.Intn(8)))),
-					Start:   h.clock.Now(),
-					End:     h.clock.Now().Add(time.Duration(1+rng.Intn(6)) * time.Hour),
+					Spec:    sla.NewSpec(sla.Exact(resource.CPU, cpu)),
+					Start:   now,
+					End:     end,
 				}
 			} else {
-				min := float64(1 + rng.Intn(3))
-				req = Request{
+				req = core.Request{
 					Service:           "simulation",
 					Client:            "fuzz-c" + strconv.Itoa(step),
 					Class:             sla.ClassControlledLoad,
-					Spec:              sla.NewSpec(sla.Range(resource.CPU, min, min+float64(rng.Intn(6)))),
-					Start:             h.clock.Now(),
-					End:               h.clock.Now().Add(time.Duration(1+rng.Intn(6)) * time.Hour),
-					AcceptDegradation: rng.Intn(2) == 0,
+					Spec:              sla.NewSpec(sla.Range(resource.CPU, cpu, cpu+float64((arg>>4)&7))),
+					Start:             now,
+					End:               end,
+					AcceptDegradation: arg&0x80 != 0,
 				}
 			}
 			if offer, err := b.RequestService(req); err == nil {
 				proposed = append(proposed, offer.SLA.ID)
 			}
 		case op == 3: // accept
-			if len(proposed) > 0 {
-				id, i := pick(proposed)
-				proposed = remove(proposed, i)
+			if id, ok := pop(&proposed, arg); ok {
 				if err := b.Accept(id); err == nil {
 					active = append(active, id)
 				}
 			}
 		case op == 4: // reject
-			if len(proposed) > 0 {
-				id, i := pick(proposed)
-				proposed = remove(proposed, i)
+			if id, ok := pop(&proposed, arg); ok {
 				_ = b.Reject(id)
 			}
 		case op == 5: // invoke
 			if len(active) > 0 {
-				id, _ := pick(active)
-				_, _ = b.Invoke(id)
+				_, _ = b.Invoke(active[int(arg)%len(active)])
 			}
 		case op == 6: // terminate
-			if len(active) > 0 {
-				id, i := pick(active)
-				active = remove(active, i)
+			if id, ok := pop(&active, arg); ok {
 				_ = b.Terminate(id, "fuzz")
 			}
 		case op == 7: // time passes; offers expire, sessions lapse
-			h.clock.Advance(time.Duration(10+rng.Intn(120)) * time.Minute)
+			clock.Advance(time.Duration(10+int(arg)) * time.Minute)
 			b.ExpireDue()
 		case op == 8: // failure / recovery
-			if rng.Intn(2) == 0 {
-				b.NotifyFailure(resource.Nodes(float64(rng.Intn(6))))
+			if arg&1 == 0 {
+				b.NotifyFailure(resource.Nodes(float64((arg >> 1) & 7)))
 			} else {
 				b.NotifyFailure(resource.Capacity{})
 			}
-		case op == 9: // best effort churn + optimizer
-			client := "fuzz-be" + strconv.Itoa(rng.Intn(4))
-			if rng.Intn(2) == 0 {
-				_ = b.BestEffortRequest(client, resource.Nodes(float64(1+rng.Intn(6))))
+		case op == 9: // best-effort churn + optimizer
+			client := "fuzz-be" + strconv.Itoa(int(arg)%4)
+			if arg&4 == 0 {
+				_ = b.BestEffortRequest(client, resource.Nodes(float64(1+(arg>>3)&7)))
 			} else {
 				_ = b.BestEffortRelease(client)
 			}
 			_, _ = b.RunOptimizer()
 		}
 
-		// Invariant 1: the pool is the mechanism of record.
-		now := h.clock.Now()
-		if use := h.pool.InUse(now); !use.FitsIn(h.pool.Total()) {
-			t.Fatalf("step %d: pool oversubscribed: %v > %v", step, use, h.pool.Total())
-		}
-		// Invariant 2: allocator partitions.
-		plan := b.Allocator().Plan()
-		var gTotal, beTotal resource.Capacity
-		for _, u := range b.Allocator().Snapshot() {
-			gTotal = gTotal.Add(u.Guaranteed)
-			beTotal = beTotal.Add(u.BestEffort)
-			if !u.Guaranteed.Add(u.BestEffort).FitsIn(u.Capacity.Sub(u.Offline)) {
-				t.Fatalf("step %d: pool %s overfull: %+v", step, u.Pool, u)
-			}
-		}
-		gMax := plan.Guaranteed.Sub(b.Allocator().Offline()).ClampMin(resource.Capacity{}).Add(plan.Adaptive)
-		if !gTotal.FitsIn(gMax) {
-			t.Fatalf("step %d: guaranteed %v exceeds deliverable %v", step, gTotal, gMax)
-		}
-		// Invariants 3 and 4: session-level consistency.
-		for _, doc := range b.Sessions(nil) {
-			alloc, held := b.Allocator().GuaranteedAllocation(string(doc.ID))
-			if doc.State.Terminal() {
-				if held {
-					t.Fatalf("step %d: terminal session %s still holds %v", step, doc.ID, alloc)
-				}
-				continue
-			}
-			if !held {
-				t.Fatalf("step %d: live session %s has no allocator grant", step, doc.ID)
-			}
-			if !doc.Spec.Accepts(doc.Allocated) {
-				t.Fatalf("step %d: session %s allocation %v violates its SLA", step, doc.ID, doc.Allocated)
-			}
-			if !alloc.Equal(doc.Allocated) {
-				t.Fatalf("step %d: session %s doc %v != allocator %v", step, doc.ID, doc.Allocated, alloc)
-			}
-		}
-		// Invariant 5: accounting sanity.
-		if rev := b.Ledger().NetRevenue(); rev != rev /* NaN check */ {
-			t.Fatalf("step %d: NaN revenue", step)
+		if err := invariant.CheckAll(b, clock.Now(), cluster.Pool); err != nil {
+			t.Fatalf("step %d (op %d, arg %#x): %v", step/2, op, arg, err)
 		}
 	}
+}
+
+// seedStream reproduces the historical deterministic workload: 600
+// operations drawn from rand.NewSource(seed).
+func seedStream(seed int64, steps int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 2*steps)
+	rng.Read(data)
+	return data
+}
+
+// TestBrokerRandomOperationsInvariants is the deterministic regression:
+// the seed-1955 stream (Middleware's CACM year) must hold every invariant
+// at every step.
+func TestBrokerRandomOperationsInvariants(t *testing.T) {
+	driveOps(t, seedStream(1955, 600))
+}
+
+// FuzzBrokerOps lets the fuzzer search for operation interleavings that
+// break the invariants: go test -fuzz=FuzzBrokerOps ./internal/core
+func FuzzBrokerOps(f *testing.F) {
+	f.Add(seedStream(1955, 40))
+	f.Add(seedStream(2003, 40))
+	// A clean lifecycle: request, accept, invoke, wait, terminate.
+	f.Add([]byte{0, 0x22, 3, 0, 5, 0, 7, 50, 6, 0})
+	// Failure pressure on a controlled-load session that may degrade.
+	f.Add([]byte{1, 0xa3, 3, 0, 5, 0, 8, 4, 8, 1, 6, 0})
+	// Offer-expiry vs accept races and best-effort churn.
+	f.Add([]byte{2, 0x12, 7, 120, 3, 0, 9, 2, 9, 6, 7, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096] // bound runtime per input
+		}
+		driveOps(t, data)
+	})
 }

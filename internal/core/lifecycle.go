@@ -16,6 +16,7 @@ import (
 // a Grid service is launched, its process binds to a previously-made
 // reservation"). The session enters the Active phase.
 func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
+	defer b.debugCheck("invoke")
 	if b.cfg.GRAM == nil {
 		return gram.Job{}, fmt.Errorf("core: no GRAM configured")
 	}
@@ -48,7 +49,11 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 
 	b.mu.Lock()
 	if err := s.doc.Transition(sla.StateActive); err != nil {
+		// A concurrent Terminate/Expire won the race after the job was
+		// submitted; don't leave it running against a canceled
+		// reservation.
 		b.mu.Unlock()
+		_ = b.cfg.GRAM.Cancel(job.ID)
 		return gram.Job{}, err
 	}
 	s.job = job.ID
@@ -62,6 +67,7 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 // canceled, capacity released, and scenario-2 upgrades applied to the
 // survivors.
 func (b *Broker) Terminate(id sla.ID, reason string) error {
+	defer b.debugCheck("terminate")
 	b.mu.Lock()
 	s, ok := b.sessions[id]
 	if !ok {
@@ -124,6 +130,7 @@ func (b *Broker) terminateForCompensation(id sla.ID) error {
 // Expire marks a session whose validity window elapsed (resource
 // reservation expiration, one of the §3 Clearing triggers).
 func (b *Broker) Expire(id sla.ID) error {
+	defer b.debugCheck("expire")
 	if err := b.teardown(id, sla.StateExpired, "validity period completed"); err != nil {
 		return err
 	}
@@ -134,6 +141,14 @@ func (b *Broker) Expire(id sla.ID) error {
 // teardown releases a session's allocator grant and GARA reservation and
 // moves it to the terminal state.
 func (b *Broker) teardown(id sla.ID, final sla.State, reason string) error {
+	return b.teardownIf(id, final, reason, nil)
+}
+
+// teardownIf is teardown gated on pred, evaluated atomically with the
+// terminal transition: concurrent paths (auto-expiry racing Accept, Reject
+// racing Accept) use it so a session observed in one state cannot be torn
+// down after another goroutine has already moved it on.
+func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func(*session) bool) error {
 	b.mu.Lock()
 	s, ok := b.sessions[id]
 	if !ok {
@@ -144,21 +159,49 @@ func (b *Broker) teardown(id sla.ID, final sla.State, reason string) error {
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %s already %s", ErrBadState, id, s.doc.State)
 	}
+	if pred != nil && !pred(s) {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
+	}
 	if err := s.doc.Transition(final); err != nil {
 		b.mu.Unlock()
 		return err
 	}
+	if s.confirm != nil {
+		s.confirm.Stop()
+		s.confirm = nil
+	}
 	handle := s.handle
 	delete(b.promotions, id)
 	b.logLocked("clearing", id, "%s: %s", final, reason)
+	// Release the grant while still holding b.mu: the terminal transition
+	// and the release must be atomic, or a concurrent re-grant path
+	// (restore, optimizer, promotion) could slip between them and leave a
+	// terminal session holding capacity. Lock order b.mu → alloc.mu is
+	// safe — the allocator never calls back into the broker.
+	_ = b.alloc.ReleaseGuaranteed(string(id))
 	b.mu.Unlock()
 
-	_ = b.alloc.ReleaseGuaranteed(string(id))
 	if err := b.cfg.GARA.Cancel(handle); err != nil {
 		b.logf("clearing", id, "reservation cancel: %v", err)
 	}
 	b.persist(id)
 	return nil
+}
+
+// allocateLive re-grants allocator capacity for a session only while it is
+// still live, atomically with respect to teardown: the liveness check and
+// the allocator call happen under b.mu, so a concurrent terminal
+// transition (which releases the grant under the same lock) can never
+// interleave and leave a terminal session holding capacity.
+func (b *Broker) allocateLive(id sla.ID, requested, floor resource.Capacity) (GrantResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[id]
+	if !ok || s.doc.State.Terminal() {
+		return GrantResult{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	return b.alloc.AllocateGuaranteed(string(id), requested, floor)
 }
 
 // afterRelease applies scenario 2 to the released capacity: (a) restore
@@ -205,7 +248,7 @@ func (b *Broker) restore(id sla.ID) error {
 	spec := s.doc.Spec.Clone()
 	b.mu.Unlock()
 
-	grant, err := b.alloc.AllocateGuaranteed(string(id), target, floor)
+	grant, err := b.allocateLive(id, target, floor)
 	if err != nil || !grant.Shortfall.IsZero() {
 		if err == nil {
 			// Partial restoration is possible but we keep the grant we
@@ -240,7 +283,9 @@ func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c
 	}
 	var delta float64
 	b.mu.Lock()
-	if s, ok := b.sessions[id]; ok {
+	// A session torn down since the grant was issued keeps its final
+	// document: no billing, no allocation rewrite.
+	if s, ok := b.sessions[id]; ok && !s.doc.State.Terminal() {
 		if bill {
 			delta = b.prices.Cost(s.doc.Class, c) - b.prices.Cost(s.doc.Class, s.doc.Allocated)
 			s.doc.Price += delta
@@ -324,6 +369,7 @@ func (b *Broker) Promotions() []pricing.PromotionOffer {
 // AcceptPromotion applies an open promotion offer: the session is upgraded
 // and the discounted increment charged.
 func (b *Broker) AcceptPromotion(id sla.ID) error {
+	defer b.debugCheck("promotion")
 	b.mu.Lock()
 	offer, ok := b.promotions[id]
 	if !ok {
@@ -347,14 +393,14 @@ func (b *Broker) AcceptPromotion(id sla.ID) error {
 	delete(b.promotions, id)
 	b.mu.Unlock()
 
-	grant, err := b.alloc.AllocateGuaranteed(string(id), offer.To, floor)
+	grant, err := b.allocateLive(id, offer.To, floor)
 	if err != nil {
 		return fmt.Errorf("core: promotion %s: %w", id, err)
 	}
 	if !grant.Shortfall.IsZero() {
 		// Capacity changed since the offer; roll back to the previous
 		// grant and refuse.
-		_, _ = b.alloc.AllocateGuaranteed(string(id), offer.From, floor)
+		_, _ = b.allocateLive(id, offer.From, floor)
 		return fmt.Errorf("%w: promotion capacity no longer available", ErrBadState)
 	}
 	if err := b.applyAllocation(id, handle, spec, offer.To, false); err != nil {
@@ -393,6 +439,7 @@ type OptimizeOutcome struct {
 // AQoS broker; if there is a considerable gain in terms of benefits to the
 // Grid Service provider, resources allocation is accordingly modified."
 func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
+	defer b.debugCheck("optimize")
 	b.mu.Lock()
 	type entry struct {
 		id     sla.ID
@@ -450,7 +497,7 @@ func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 		if target.Equal(e.alloc) {
 			continue
 		}
-		grant, err := b.alloc.AllocateGuaranteed(string(e.id), target, e.spec.Floor())
+		grant, err := b.allocateLive(e.id, target, e.spec.Floor())
 		if err != nil || !grant.Shortfall.IsZero() {
 			continue // skip this session; others may still improve
 		}

@@ -79,6 +79,7 @@ type Offer struct {
 // services, verify resource availability (adapting active sessions if
 // necessary — scenario 1), temporarily reserve, and return a priced offer.
 func (b *Broker) RequestService(req Request) (*Offer, error) {
+	defer b.debugCheck("request")
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,18 +179,36 @@ func (b *Broker) RequestService(req Request) (*Offer, error) {
 	}
 	expires := b.clock.Now().Add(b.cfg.ConfirmWindow)
 	sess := &session{doc: doc, handle: handle, original: allocated}
+
+	b.mu.Lock()
+	if b.closed {
+		// The broker shut down while this request was negotiating; undo
+		// the reservation rather than leak it into a closed broker.
+		b.mu.Unlock()
+		_ = b.alloc.ReleaseGuaranteed(string(id))
+		_ = b.cfg.GARA.Cancel(handle)
+		return nil, ErrClosed
+	}
+	b.sessions[id] = sess
+	// Schedule the auto-cancel only after the session is registered: the
+	// clock may fire the callback the instant it is armed (a concurrent
+	// Advance past the window), and an expiry that finds no session would
+	// silently leave the offer un-expirable. Timer scheduling never fires
+	// callbacks synchronously under the clock's lock, so arming it under
+	// b.mu cannot deadlock.
 	sess.confirm = b.clock.AfterFunc(b.cfg.ConfirmWindow, func() {
 		b.expireOffer(id)
 	})
-
-	b.mu.Lock()
-	b.sessions[id] = sess
 	b.logLocked("offer", id, "proposed %v at price %.2f (expires %s)",
 		allocated, price, expires.Format("15:04:05"))
+	// Snapshot the offer document before releasing the lock: once the
+	// confirm timer is armed, a concurrent clock advance can expire the
+	// offer and mutate doc at any moment.
+	offered := doc.Clone()
 	b.mu.Unlock()
 
 	return &Offer{
-		SLA:         doc.Clone(),
+		SLA:         offered,
 		Price:       price,
 		Expires:     expires,
 		ServiceKey:  key,
@@ -325,7 +344,7 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 	spec := doc.Spec.Clone()
 	b.mu.Unlock()
 
-	if _, err := b.alloc.AllocateGuaranteed(string(id), floor, floor); err != nil {
+	if _, err := b.allocateLive(id, floor, floor); err != nil {
 		return err
 	}
 	if err := b.applyAllocation(id, handle, spec, floor, true); err != nil {
@@ -346,6 +365,7 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 // Accept confirms a proposed offer: the SLA is established, the temporary
 // reservation committed, and the client charged.
 func (b *Broker) Accept(id sla.ID) error {
+	defer b.debugCheck("accept")
 	b.mu.Lock()
 	s, ok := b.sessions[id]
 	if !ok {
@@ -374,44 +394,31 @@ func (b *Broker) Accept(id sla.ID) error {
 }
 
 // Reject declines a proposed offer, releasing the temporary reservation.
+// The proposed-state check is evaluated atomically with the teardown so a
+// concurrent Accept cannot establish the session in between and have it
+// torn down anyway.
 func (b *Broker) Reject(id sla.ID) error {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
-	if !ok {
-		b.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
-	}
-	if s.doc.State != sla.StateProposed {
-		b.mu.Unlock()
-		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
-	}
-	if s.confirm != nil {
-		s.confirm.Stop()
-		s.confirm = nil
-	}
-	b.mu.Unlock()
-	return b.teardown(id, sla.StateTerminated, "offer rejected by client")
+	defer b.debugCheck("reject")
+	return b.teardownIf(id, sla.StateTerminated, "offer rejected by client",
+		func(s *session) bool { return s.doc.State == sla.StateProposed })
 }
 
 // expireOffer is the §3.1 auto-cancel: "if the RS does not receive such
 // confirmation within the pre-defined period of time, it instructs GARA to
-// cancel the reservation."
+// cancel the reservation." Gated on the proposed state atomically with the
+// teardown: an Accept racing the confirmation deadline either establishes
+// the session (and the expiry is a no-op) or loses cleanly.
 func (b *Broker) expireOffer(id sla.ID) {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
-	if !ok || s.doc.State != sla.StateProposed {
-		b.mu.Unlock()
-		return
-	}
-	s.confirm = nil
-	b.mu.Unlock()
-	_ = b.teardown(id, sla.StateTerminated, "confirmation window elapsed; reservation canceled")
+	_ = b.teardownIf(id, sla.StateTerminated,
+		"confirmation window elapsed; reservation canceled",
+		func(s *session) bool { return s.doc.State == sla.StateProposed })
 }
 
 // BestEffortRequest asks for best-effort capacity — no SLA, no
 // negotiation: "any suitable resources found are returned to the user"
 // (§5.1). The grant is immediate or refused.
 func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) error {
+	defer b.debugCheck("best-effort")
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -428,6 +435,7 @@ func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) erro
 
 // BestEffortRelease returns a best-effort client's capacity.
 func (b *Broker) BestEffortRelease(client string) error {
+	defer b.debugCheck("best-effort-release")
 	if err := b.alloc.ReleaseBestEffort(client); err != nil {
 		return err
 	}
@@ -437,10 +445,8 @@ func (b *Broker) BestEffortRelease(client string) error {
 }
 
 func (b *Broker) newSLAID() sla.ID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextID++
-	return sla.ID(fmt.Sprintf("%s-sla-%04d", strings.ToLower(nonEmpty(b.cfg.Domain, "aqos")), b.nextID))
+	return sla.ID(fmt.Sprintf("%s-sla-%04d",
+		strings.ToLower(nonEmpty(b.cfg.Domain, "aqos")), b.nextID.Add(1)))
 }
 
 // reservationRSL renders the GARA request for a spec at the allocated

@@ -31,6 +31,7 @@ type RenegotiationResult struct {
 // keeps its identity, reservation handle and validity window; only
 // quality and price change. On failure the previous agreement stands.
 func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult, error) {
+	defer b.debugCheck("renegotiate")
 	if err := newSpec.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	floor := newSpec.Floor()
 
 	res := &RenegotiationResult{SLA: id, Old: oldAlloc}
-	grant, err := b.alloc.AllocateGuaranteed(string(id), target, floor)
+	grant, err := b.allocateLive(id, target, floor)
 	if err != nil {
 		// Scenario-1 compensation, then retry once. The session's own
 		// current hold is being replaced, so only the increment beyond
@@ -84,10 +85,10 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 			return nil, fmt.Errorf("core: renegotiate %s: %w (compensation: %v)", id, err, cerr)
 		}
 		res.Compensated = freed
-		grant, err = b.alloc.AllocateGuaranteed(string(id), target, floor)
+		grant, err = b.allocateLive(id, target, floor)
 		if err != nil {
 			// Restore the previous grant before reporting failure.
-			_, _ = b.alloc.AllocateGuaranteed(string(id), oldAlloc, oldSpec.Floor())
+			_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
 			return nil, fmt.Errorf("core: renegotiate %s after compensation: %w", id, err)
 		}
 	}
@@ -95,7 +96,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 
 	// Push the new reservation; on failure roll the allocator back.
 	if err := b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id))); err != nil {
-		_, _ = b.alloc.AllocateGuaranteed(string(id), oldAlloc, oldSpec.Floor())
+		_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
 		return nil, fmt.Errorf("core: renegotiate %s: %w", id, err)
 	}
 
@@ -103,6 +104,13 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	// QoS fallback from the new floor.
 	delta := b.prices.Cost(class, granted) - b.prices.Cost(class, oldAlloc)
 	b.mu.Lock()
+	if s.doc.State.Terminal() {
+		// Torn down while the new reservation was being pushed; the
+		// teardown already released the grant and canceled the handle, so
+		// the terminal document must stand untouched.
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s terminated during renegotiation", ErrBadState, id)
+	}
 	s.doc.Spec = newSpec.Clone()
 	s.doc.Allocated = granted
 	s.doc.Price += delta

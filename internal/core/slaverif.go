@@ -254,7 +254,7 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 		spec := s.doc.Spec.Clone()
 		b.mu.Unlock()
 		alt := doc.Adapt.AlternativeQoS
-		if _, err := b.alloc.AllocateGuaranteed(string(id), alt, alt.Min(floor)); err == nil {
+		if _, err := b.allocateLive(id, alt, alt.Min(floor)); err == nil {
 			if err := b.applyAllocation(id, handle, spec, alt, true); err == nil {
 				b.mu.Lock()
 				s.degraded = true
@@ -341,6 +341,7 @@ func (b *Broker) ExpireDue() []sla.ID {
 // event): the allocator adapts, preempting best-effort borrowers, and the
 // event is logged. Recovery is signalled with the zero capacity.
 func (b *Broker) NotifyFailure(offline resource.Capacity) []Preemption {
+	defer b.debugCheck("failure")
 	pre := b.alloc.SetOffline(offline)
 	if offline.IsZero() {
 		b.logf("failure", "", "capacity recovered; adaptive reserve replenished")

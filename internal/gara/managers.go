@@ -166,21 +166,29 @@ func (m *NetworkManager) Modify(token string, spec *rsl.Node) error {
 	}
 	flow, err := m.nrm.Reserve(old.SourceIP, old.DestIP, bw, old.Start, old.End, old.Tag)
 	if err != nil {
-		// Best effort: restore the old reservation.
-		if _, restoreErr := m.nrm.Reserve(old.SourceIP, old.DestIP, old.Mbps, old.Start, old.End, old.Tag); restoreErr != nil {
+		// Best effort: restore the old reservation. The restored flow
+		// carries a fresh ID, so the token must be re-aliased to it or
+		// later Cancel/Flow calls on the token would dangle.
+		restored, restoreErr := m.nrm.Reserve(old.SourceIP, old.DestIP, old.Mbps, old.Start, old.End, old.Tag)
+		if restoreErr != nil {
 			return fmt.Errorf("gara: modify failed (%v) and restore failed: %w", err, restoreErr)
 		}
+		m.alias(token, string(restored.ID))
 		return err
 	}
 	// The flow ID changed; record the alias so future operations on the
 	// original token resolve.
+	m.alias(token, string(flow.ID))
+	return nil
+}
+
+func (m *NetworkManager) alias(token, flowID string) {
 	m.aliasMu.Lock()
 	if m.aliases == nil {
 		m.aliases = make(map[string]string)
 	}
-	m.aliases[token] = string(flow.ID)
+	m.aliases[token] = flowID
 	m.aliasMu.Unlock()
-	return nil
 }
 
 // Cancel implements ResourceManager.

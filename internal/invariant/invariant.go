@@ -1,0 +1,171 @@
+// Package invariant centralizes the broker's global correctness
+// conditions — the oracle shared by the deterministic fuzz driver, the
+// concurrent stress harness, the parallel simulator and the broker's
+// optional debug hook. The rules are the ones the Algorithm-1 partition
+// and the Fig. 3 lifecycle promise jointly:
+//
+//  1. the compute pool never holds more than its capacity (mechanism);
+//  2. the allocator never over-commits any partition pool, and total
+//     guaranteed demand stays within what is deliverable (policy);
+//  3. every live session's allocation satisfies its SLA and matches the
+//     allocator's book;
+//  4. terminal sessions hold no allocator grant, and every guaranteed
+//     grant belongs to a live session (no lost or double-spent capacity);
+//  5. the ledger's net revenue is finite.
+//
+// The cross-component rules (3 and 4) compare two independently locked
+// structures, so they only hold when no operation is in flight: call
+// Check from single-threaded drivers after each step, or from concurrent
+// harnesses at quiesce points only.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gqosm/internal/core"
+	"gqosm/internal/resource"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule names the invariant ("pool-oversubscribed",
+	// "partition-overfull", "guaranteed-overcommit", "terminal-grant",
+	// "live-no-grant", "sla-unsatisfied", "doc-allocator-skew",
+	// "orphan-grant", "ledger-nan").
+	Rule string
+	// Detail describes the observed state.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Error aggregates every violation a check pass found.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("invariant: %d violation(s): %s",
+		len(e.Violations), strings.Join(parts, "; "))
+}
+
+func wrap(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return &Error{Violations: vs}
+}
+
+// Check runs the broker-level invariants (rules 2–5). Its signature
+// matches core.Broker.SetDebugHook, so a serial driver can install it
+// directly: b.SetDebugHook(invariant.Check).
+func Check(b *core.Broker) error {
+	return wrap(brokerViolations(b))
+}
+
+// CheckPool verifies the mechanism invariant (rule 1): reservations in
+// force at now never exceed the pool's capacity.
+func CheckPool(p *resource.Pool, now time.Time) error {
+	return wrap(poolViolations(p, now))
+}
+
+// CheckAll runs Check plus CheckPool over every pool, aggregating all
+// violations into one error.
+func CheckAll(b *core.Broker, now time.Time, pools ...*resource.Pool) error {
+	vs := brokerViolations(b)
+	for _, p := range pools {
+		vs = append(vs, poolViolations(p, now)...)
+	}
+	return wrap(vs)
+}
+
+func poolViolations(p *resource.Pool, now time.Time) []Violation {
+	if use := p.InUse(now); !use.FitsIn(p.Total()) {
+		return []Violation{{
+			Rule:   "pool-oversubscribed",
+			Detail: fmt.Sprintf("pool %q holds %v > capacity %v", p.Name(), use, p.Total()),
+		}}
+	}
+	return nil
+}
+
+func brokerViolations(b *core.Broker) []Violation {
+	var vs []Violation
+	alloc := b.Allocator()
+	plan := alloc.Plan()
+
+	// Rule 2: no partition pool over-committed, and guaranteed demand
+	// within the deliverable bound C_G_eff + C_A.
+	var gTotal resource.Capacity
+	for _, u := range alloc.Snapshot() {
+		gTotal = gTotal.Add(u.Guaranteed)
+		if !u.Guaranteed.Add(u.BestEffort).FitsIn(u.Capacity.Sub(u.Offline)) {
+			vs = append(vs, Violation{
+				Rule:   "partition-overfull",
+				Detail: fmt.Sprintf("pool %s: %+v", u.Pool, u),
+			})
+		}
+	}
+	gMax := plan.Guaranteed.Sub(alloc.Offline()).ClampMin(resource.Capacity{}).Add(plan.Adaptive)
+	if !gTotal.FitsIn(gMax) {
+		vs = append(vs, Violation{
+			Rule:   "guaranteed-overcommit",
+			Detail: fmt.Sprintf("guaranteed %v exceeds deliverable %v", gTotal, gMax),
+		})
+	}
+
+	// Rules 3 and 4: session ↔ allocator consistency.
+	live := make(map[string]bool)
+	for _, doc := range b.Sessions(nil) {
+		got, held := alloc.GuaranteedAllocation(string(doc.ID))
+		if doc.State.Terminal() {
+			if held {
+				vs = append(vs, Violation{
+					Rule:   "terminal-grant",
+					Detail: fmt.Sprintf("session %s is %s but still holds %v", doc.ID, doc.State, got),
+				})
+			}
+			continue
+		}
+		live[string(doc.ID)] = true
+		if !held {
+			vs = append(vs, Violation{
+				Rule:   "live-no-grant",
+				Detail: fmt.Sprintf("live session %s (%s) has no allocator grant", doc.ID, doc.State),
+			})
+			continue
+		}
+		if !doc.Spec.Accepts(doc.Allocated) {
+			vs = append(vs, Violation{
+				Rule:   "sla-unsatisfied",
+				Detail: fmt.Sprintf("session %s allocation %v violates its SLA", doc.ID, doc.Allocated),
+			})
+		}
+		if !got.Equal(doc.Allocated) {
+			vs = append(vs, Violation{
+				Rule:   "doc-allocator-skew",
+				Detail: fmt.Sprintf("session %s document says %v, allocator says %v", doc.ID, doc.Allocated, got),
+			})
+		}
+	}
+	for _, user := range alloc.GuaranteedUsers() {
+		if !live[user] {
+			vs = append(vs, Violation{
+				Rule:   "orphan-grant",
+				Detail: fmt.Sprintf("guaranteed grant for %q has no live session", user),
+			})
+		}
+	}
+
+	// Rule 5: accounting sanity.
+	if rev := b.Ledger().NetRevenue(); rev != rev { // NaN check
+		vs = append(vs, Violation{Rule: "ledger-nan", Detail: "net revenue is NaN"})
+	}
+	return vs
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"gqosm/internal/core"
+	"gqosm/internal/invariant"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// This file is the concurrent admission harness: N goroutine clients
+// drive a shared broker through the full Fig. 3 lifecycle — request,
+// accept, reject, invoke, terminate, offer expiry, failure/recovery and
+// optimizer passes — each on a deterministic per-client seed schedule.
+// The run is split into phases; at every phase barrier (a quiesce point,
+// where no operation is in flight) the full invariant suite runs, and
+// after a final drain the allocator must hold exactly the configured
+// plan again — no lost or double-spent capacity.
+
+// ParallelConfig sizes a RunParallel stress run.
+type ParallelConfig struct {
+	// Clients is the number of concurrent goroutine clients (default 8).
+	Clients int
+	// Ops is the total number of lifecycle operations across all clients
+	// (default 10000).
+	Ops int
+	// Phases is the number of quiesce points (default 10).
+	Phases int
+	// Seed is the base seed; client i draws from rand.NewSource(Seed+i),
+	// so each client's operation schedule is deterministic even though
+	// the global interleaving is not.
+	Seed int64
+	// Plan is the Algorithm-1 partition; defaults to the §5.6 partition.
+	Plan core.CapacityPlan
+}
+
+// ParallelResult reports a RunParallel run.
+type ParallelResult struct {
+	Clients, Ops, Phases int
+	// Requested / Admitted / Terminated count successful lifecycle
+	// transitions across all clients.
+	Requested, Admitted, Terminated int
+	// Checks counts invariant suite passes (one per quiesce point plus
+	// the post-drain pass).
+	Checks int
+	// Elapsed is the wall-clock time spent in the phased operation loop.
+	Elapsed time.Duration
+	// OpsPerSec is Ops / Elapsed.
+	OpsPerSec float64
+}
+
+// parClient is one goroutine client's deterministic schedule and local
+// session bookkeeping.
+type parClient struct {
+	id      int
+	rng     *rand.Rand
+	cluster *Cluster
+
+	proposed []sla.ID
+	active   []sla.ID
+
+	requested, admitted, terminated int
+}
+
+// DefaultParallelPlan is the §5.6 partition used when ParallelConfig.Plan
+// is zero.
+func DefaultParallelPlan() core.CapacityPlan {
+	return core.CapacityPlan{
+		Guaranteed: resource.Capacity{CPU: 15, MemoryMB: 6144, DiskGB: 120},
+		Adaptive:   resource.Capacity{CPU: 6, MemoryMB: 2048, DiskGB: 40},
+		BestEffort: resource.Capacity{CPU: 5, MemoryMB: 2048, DiskGB: 40},
+	}
+}
+
+// RunParallel executes the concurrent lifecycle stress and returns its
+// throughput counters. It fails on the first invariant violation at a
+// quiesce point, or when capacity is lost or double-spent by the end.
+func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 10000
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 10
+	}
+	if cfg.Plan.Total().IsZero() {
+		cfg.Plan = DefaultParallelPlan()
+	}
+	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	clients := make([]*parClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &parClient{
+			id:      i,
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			cluster: cluster,
+		}
+	}
+	perPhase := cfg.Ops / (cfg.Clients * cfg.Phases)
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	res := &ParallelResult{Clients: cfg.Clients, Phases: cfg.Phases,
+		Ops: perPhase * cfg.Clients * cfg.Phases}
+
+	start := time.Now()
+	for phase := 0; phase < cfg.Phases; phase++ {
+		var wg sync.WaitGroup
+		for _, cl := range clients {
+			wg.Add(1)
+			go func(cl *parClient) {
+				defer wg.Done()
+				for i := 0; i < perPhase; i++ {
+					cl.step()
+				}
+			}(cl)
+		}
+		wg.Wait()
+		// Quiesce point: nothing in flight, the cross-component
+		// invariants must hold exactly.
+		res.Checks++
+		if err := invariant.CheckAll(cluster.Broker, cluster.Clock.Now(), cluster.Pool); err != nil {
+			return res, fmt.Errorf("phase %d quiesce: %w", phase, err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+
+	// Drain everything and verify no capacity was lost or double-spent.
+	cluster.Broker.NotifyFailure(resource.Capacity{})
+	for _, cl := range clients {
+		cl.drain()
+		res.Requested += cl.requested
+		res.Admitted += cl.admitted
+		res.Terminated += cl.terminated
+	}
+	cluster.Clock.Advance(72 * time.Hour) // expire pending offers via their timers
+	cluster.Broker.ExpireDue()
+	res.Checks++
+	if err := invariant.CheckAll(cluster.Broker, cluster.Clock.Now(), cluster.Pool); err != nil {
+		return res, fmt.Errorf("post-drain: %w", err)
+	}
+	alloc := cluster.Broker.Allocator()
+	if users := alloc.GuaranteedUsers(); len(users) != 0 {
+		return res, fmt.Errorf("capacity leaked: %d guaranteed grant(s) survive the drain: %v", len(users), users)
+	}
+	if got := alloc.AvailableGuaranteed(); !got.Equal(cfg.Plan.Guaranteed) {
+		return res, fmt.Errorf("capacity lost: guaranteed headroom %v after drain, want %v", got, cfg.Plan.Guaranteed)
+	}
+	if got := alloc.AvailableBestEffort(); !got.Equal(cfg.Plan.Total()) {
+		return res, fmt.Errorf("capacity lost: best-effort headroom %v after drain, want %v", got, cfg.Plan.Total())
+	}
+	return res, nil
+}
+
+// step performs one randomly chosen lifecycle operation. The mix mirrors
+// the deterministic fuzz driver's.
+func (c *parClient) step() {
+	b := c.cluster.Broker
+	clock := c.cluster.Clock
+	switch op := c.rng.Intn(10); {
+	case op <= 2: // new request
+		c.requested++
+		var req core.Request
+		now := clock.Now()
+		tag := strconv.Itoa(c.id) + "-" + strconv.Itoa(c.requested)
+		if c.rng.Intn(2) == 0 {
+			req = core.Request{
+				Service: "simulation",
+				Client:  "par-g" + tag,
+				Class:   sla.ClassGuaranteed,
+				Spec:    sla.NewSpec(sla.Exact(resource.CPU, float64(1+c.rng.Intn(8)))),
+				Start:   now,
+				End:     now.Add(time.Duration(1+c.rng.Intn(6)) * time.Hour),
+			}
+		} else {
+			min := float64(1 + c.rng.Intn(3))
+			req = core.Request{
+				Service:           "simulation",
+				Client:            "par-c" + tag,
+				Class:             sla.ClassControlledLoad,
+				Spec:              sla.NewSpec(sla.Range(resource.CPU, min, min+float64(c.rng.Intn(6)))),
+				Start:             now,
+				End:               now.Add(time.Duration(1+c.rng.Intn(6)) * time.Hour),
+				AcceptDegradation: c.rng.Intn(2) == 0,
+			}
+		}
+		if offer, err := b.RequestService(req); err == nil {
+			c.proposed = append(c.proposed, offer.SLA.ID)
+		}
+	case op == 3: // accept
+		if id, ok := c.pick(&c.proposed); ok {
+			if err := b.Accept(id); err == nil {
+				c.admitted++
+				c.active = append(c.active, id)
+			}
+		}
+	case op == 4: // reject
+		if id, ok := c.pick(&c.proposed); ok {
+			_ = b.Reject(id)
+		}
+	case op == 5: // invoke
+		if len(c.active) > 0 {
+			_, _ = b.Invoke(c.active[c.rng.Intn(len(c.active))])
+		}
+	case op == 6: // terminate
+		if id, ok := c.pick(&c.active); ok {
+			if err := b.Terminate(id, "parallel stress"); err == nil {
+				c.terminated++
+			}
+		}
+	case op == 7: // time passes; offers expire, sessions lapse
+		clock.Advance(time.Duration(1+c.rng.Intn(10)) * time.Minute)
+		b.ExpireDue()
+	case op == 8: // failure / recovery
+		if c.rng.Intn(2) == 0 {
+			b.NotifyFailure(resource.Nodes(float64(c.rng.Intn(6))))
+		} else {
+			b.NotifyFailure(resource.Capacity{})
+		}
+	case op == 9: // best-effort churn + optimizer
+		client := "par-be" + strconv.Itoa(c.id)
+		if c.rng.Intn(2) == 0 {
+			_ = b.BestEffortRequest(client, resource.Nodes(float64(1+c.rng.Intn(4))))
+		} else {
+			_ = b.BestEffortRelease(client)
+		}
+		_, _ = b.RunOptimizer()
+	}
+}
+
+// pick removes and returns a random element of *ids.
+func (c *parClient) pick(ids *[]sla.ID) (sla.ID, bool) {
+	if len(*ids) == 0 {
+		return "", false
+	}
+	i := c.rng.Intn(len(*ids))
+	id := (*ids)[i]
+	*ids = append((*ids)[:i], (*ids)[i+1:]...)
+	return id, true
+}
+
+// drain finishes every session this client still tracks.
+func (c *parClient) drain() {
+	b := c.cluster.Broker
+	for _, id := range c.proposed {
+		_ = b.Reject(id)
+	}
+	c.proposed = nil
+	for _, id := range c.active {
+		if err := b.Terminate(id, "drain"); err == nil {
+			c.terminated++
+		}
+	}
+	c.active = nil
+	_ = b.BestEffortRelease("par-be" + strconv.Itoa(c.id))
+}
