@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -83,6 +84,18 @@ func run() error {
 	defer stack.Close()
 	_ = service // the default stack advertisement covers the service name
 
+	handler := newHandler(stack, peers)
+
+	log.Printf("aqosd: domain %q serving on %s (plan G=%v A=%v B=%v)",
+		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort)
+	return http.ListenAndServe(*listen, handler)
+}
+
+// newHandler assembles the daemon's full HTTP surface: the SOAP endpoints
+// with /metrics from Stack.Mount, the pprof profiler family, federation
+// forwarding when peers are configured, and the /log and /status
+// inspection pages. Split from run so tests can drive it over httptest.
+func newHandler(stack *gqosm.Stack, peers peerFlags) http.Handler {
 	mux := stack.Mount()
 	if len(peers) > 0 {
 		fed := core.NewFederation(stack.Broker)
@@ -92,6 +105,12 @@ func run() error {
 		}
 		fed.Mount(mux)
 	}
+	mux.HandleHTTP("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	mux.HandleHTTP("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	mux.HandleHTTP("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	mux.HandleHTTP("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	mux.HandleHTTP("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+
 	httpMux := http.NewServeMux()
 	httpMux.Handle("/", mux)
 	httpMux.HandleFunc("/log", func(w http.ResponseWriter, _ *http.Request) {
@@ -105,10 +124,7 @@ func run() error {
 				u.Pool, u.Capacity, u.Guaranteed, u.BestEffort, u.Free(), u.Offline)
 		}
 	})
-
-	log.Printf("aqosd: domain %q serving on %s (plan G=%v A=%v B=%v)",
-		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort)
-	return http.ListenAndServe(*listen, httpMux)
+	return httpMux
 }
 
 // peerFlags collects repeated -peer name=url flags.

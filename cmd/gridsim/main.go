@@ -28,6 +28,7 @@ import (
 
 	"gqosm"
 	"gqosm/internal/gara"
+	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 	"gqosm/internal/sim"
 	"gqosm/internal/sla"
@@ -91,17 +92,20 @@ func run(args []string) error {
 
 // runParallel drives the concurrent admission stress (sim.RunParallel)
 // against a serial baseline with the same total work, checking the
-// invariant suite at every quiesce point. The JSON form is the shape
-// recorded in BENCH_parallel.json.
+// invariant suite at every quiesce point. Each run gets its own metrics
+// registry so the serial baseline's counters do not pollute the parallel
+// run's. The JSON form is the shape recorded in BENCH_parallel.json (see
+// README.md "Benchmark artifact").
 func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
+	serialObs, parObs := obs.NewRegistry(), obs.NewRegistry()
 	serial, err := sim.RunParallel(sim.ParallelConfig{
-		Clients: 1, Ops: ops, Phases: phases, Seed: seed,
+		Clients: 1, Ops: ops, Phases: phases, Seed: seed, Obs: serialObs,
 	})
 	if err != nil {
 		return fmt.Errorf("serial baseline: %w", err)
 	}
 	par, err := sim.RunParallel(sim.ParallelConfig{
-		Clients: clients, Ops: ops, Phases: phases, Seed: seed,
+		Clients: clients, Ops: ops, Phases: phases, Seed: seed, Obs: parObs,
 	})
 	if err != nil {
 		return fmt.Errorf("parallel stress: %w", err)
@@ -124,8 +128,14 @@ func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
 		fmt.Printf("%-9s clients=%-3d ops=%-6d requested=%-5d admitted=%-5d terminated=%-5d checks=%d  %8.0f ops/s\n",
 			row.name, row.r.Clients, row.r.Ops, row.r.Requested,
 			row.r.Admitted, row.r.Terminated, row.r.Checks, row.r.OpsPerSec)
+		fmt.Printf("%-9s admission latency p50=%.4fms p95=%.4fms p99=%.4fms over %.1fms\n",
+			"", row.r.AdmitP50MS, row.r.AdmitP95MS, row.r.AdmitP99MS, row.r.ElapsedMS)
 	}
 	fmt.Println("\nall invariant checks passed; no capacity lost or double-spent")
+	fmt.Println("\nparallel-run metrics snapshot:")
+	if err := parObs.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
 	return nil
 }
 

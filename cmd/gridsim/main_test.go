@@ -70,7 +70,12 @@ func TestParallelModeTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"serial", "parallel", "ops/s", "no capacity lost"} {
+	for _, want := range []string{
+		"serial", "parallel", "ops/s", "no capacity lost",
+		"admission latency p50=", "metrics snapshot:",
+		"gqosm_broker_admission_seconds_count",
+		`gqosm_broker_lifecycle_total{event="accept"}`,
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("parallel output missing %q:\n%s", want, out)
 		}
@@ -97,5 +102,22 @@ func TestParallelModeJSON(t *testing.T) {
 	}
 	if report["parallel"].Clients != 2 || report["serial"].Clients != 1 {
 		t.Fatalf("client counts wrong: %+v", report)
+	}
+
+	// The schema must carry both the raw nanosecond Elapsed and the
+	// explicit-unit fields consumers should prefer.
+	var raw map[string]map[string]float64
+	if err := json.Unmarshal([]byte(out), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"serial", "parallel"} {
+		for _, field := range []string{"elapsed_ms", "admit_p50_ms", "admit_p95_ms", "admit_p99_ms"} {
+			if v := raw[key][field]; v <= 0 {
+				t.Errorf("%s.%s = %v, want > 0", key, field, v)
+			}
+		}
+		if ms, ns := raw[key]["elapsed_ms"], raw[key]["Elapsed"]; ms < ns/1e6*0.999 || ms > ns/1e6*1.001 {
+			t.Errorf("%s: elapsed_ms %v inconsistent with Elapsed %v ns", key, ms, ns)
+		}
 	}
 }

@@ -16,13 +16,17 @@
 //	qosctl -broker http://localhost:8080 terminate -sla site-a-sla-0001
 //	qosctl -broker http://localhost:8080 renegotiate -sla site-a-sla-0001 -cpu 12
 //	qosctl -broker http://localhost:8080 besteffort -client me -cpu 4
+//	qosctl -broker http://localhost:8080 metrics
 package main
 
 import (
 	"encoding/xml"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"gqosm"
@@ -45,7 +49,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort")
+		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort | metrics")
 	}
 	client := gqosm.NewBrokerClient(*broker)
 	cmd, rest := rest[0], rest[1:]
@@ -60,6 +64,8 @@ func run(args []string) error {
 		return doVerify(client, rest)
 	case "besteffort":
 		return doBestEffort(client, rest)
+	case "metrics":
+		return doMetrics(*broker, rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -240,4 +246,24 @@ func doBestEffort(client *core.Client, args []string) error {
 		fmt.Printf("granted %v\n", amount)
 	}
 	return nil
+}
+
+// doMetrics prints the broker's /metrics snapshot: the broker-side
+// counters, latency histograms and utilization gauges in Prometheus
+// text exposition format.
+func doMetrics(broker string, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(strings.TrimRight(broker, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: broker answered %s", resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }

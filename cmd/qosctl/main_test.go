@@ -188,3 +188,36 @@ func TestActionAgainstUnknownSLA(t *testing.T) {
 		t.Fatal("accept of unknown SLA succeeded")
 	}
 }
+
+// TestMetricsEndToEnd fetches the broker's Prometheus exposition through
+// the metrics subcommand after one admission.
+func TestMetricsEndToEnd(t *testing.T) {
+	stack, url := startBroker(t)
+	out, err := runCapture(t, "-broker", url, "request", "-class", "guaranteed", "-cpu", "2")
+	if err != nil {
+		t.Fatalf("request: %v\n%s", err, out)
+	}
+	if len(stack.Broker.Sessions(nil)) == 0 {
+		t.Fatal("no session proposed")
+	}
+
+	out, err = runCapture(t, "-broker", url, "metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE gqosm_broker_admission_seconds histogram",
+		`gqosm_broker_lifecycle_total{event="request"} 1`,
+		"gqosm_partition_utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsAgainstDeadBroker(t *testing.T) {
+	if _, err := runCapture(t, "-broker", "http://127.0.0.1:1", "metrics"); err == nil {
+		t.Fatal("expected connection error")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
 	"gqosm/internal/nrm"
+	"gqosm/internal/obs"
 	"gqosm/internal/pricing"
 	"gqosm/internal/registry"
 	"gqosm/internal/resource"
@@ -146,6 +147,10 @@ type StackConfig struct {
 	// monitor (NRM checks, session expiry, optimizer passes) at that
 	// interval; Close stops it.
 	MonitorInterval time.Duration
+	// Obs receives metrics and lifecycle traces from every component;
+	// nil creates a private registry, reachable via Stack.Obs. Mount
+	// serves it on /metrics.
+	Obs *obs.Registry
 }
 
 // Stack is an assembled single-domain deployment: the AQoS broker wired to
@@ -166,6 +171,9 @@ type Stack struct {
 	RM *core.DSRTAdapter
 	// Monitor is the periodic QoS-management driver, when enabled.
 	Monitor *core.Monitor
+	// Obs is the metrics registry shared by all components; Mount
+	// serves it on /metrics.
+	Obs *obs.Registry
 }
 
 // NewStack assembles a deployment.
@@ -263,10 +271,20 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Repo:             repo,
 		ConfirmWindow:    cfg.ConfirmWindow,
 		MinOptimizerGain: cfg.MinOptimizerGain,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		gramM.Close()
 		return nil, err
+	}
+	metrics := broker.Obs()
+	g.Instrument(metrics)
+	gramM.Instrument(metrics)
+	if netMgr != nil {
+		netMgr.Instrument(metrics)
+	}
+	if sched != nil {
+		sched.Instrument(metrics)
 	}
 	stack := &Stack{
 		Broker:   broker,
@@ -279,6 +297,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Clock:    clock,
 		DSRT:     sched,
 		RM:       adapter,
+		Obs:      metrics,
 	}
 	if cfg.MonitorInterval > 0 {
 		stack.Monitor = core.NewMonitor(broker, cfg.MonitorInterval)
@@ -338,11 +357,13 @@ func attachJobs(gramM *gram.Manager, sched *dsrt.Scheduler, adapter *core.DSRTAd
 }
 
 // Mount installs the broker's SOAP endpoints on a fresh mux implementing
-// http.Handler (the Fig. 5 deployment).
+// http.Handler (the Fig. 5 deployment), plus the Prometheus metrics
+// exposition on GET /metrics.
 func (s *Stack) Mount() *soapx.Mux {
 	mux := soapx.NewMux()
 	s.Broker.Mount(mux)
 	s.Registry.Mount(mux)
+	mux.HandleHTTP("/metrics", s.Obs.Handler())
 	return mux
 }
 

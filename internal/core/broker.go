@@ -13,6 +13,7 @@ import (
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
 	"gqosm/internal/nrm"
+	"gqosm/internal/obs"
 	"gqosm/internal/pricing"
 	"gqosm/internal/registry"
 	"gqosm/internal/resource"
@@ -81,6 +82,10 @@ type Config struct {
 	// RangeSteps discretizes controlled-load ranges for the optimizer
 	// (default 4).
 	RangeSteps int
+	// Obs receives the broker's metrics and lifecycle traces. Nil
+	// creates a private registry, so instrumentation is always live and
+	// reachable through Broker.Obs().
+	Obs *obs.Registry
 }
 
 // Event is one entry of the broker activity log (the Fig. 6 console).
@@ -136,6 +141,8 @@ type Broker struct {
 	prices *pricing.Model
 	ledger *pricing.Ledger
 	repo   sla.Repository
+	obs    *obs.Registry
+	met    brokerMetrics
 	nextID atomic.Int64
 
 	mu       sync.Mutex
@@ -185,6 +192,9 @@ func NewBroker(cfg Config) (*Broker, error) {
 	if cfg.RangeSteps <= 0 {
 		cfg.RangeSteps = 4
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	b := &Broker{
 		cfg:        cfg,
 		alloc:      alloc,
@@ -194,7 +204,10 @@ func NewBroker(cfg Config) (*Broker, error) {
 		repo:       cfg.Repo,
 		sessions:   make(map[sla.ID]*session),
 		promotions: make(map[sla.ID]pricing.PromotionOffer),
+		obs:        cfg.Obs,
 	}
+	b.met = newBrokerMetrics(b.obs)
+	b.registerGauges(b.obs)
 	if cfg.NRM != nil {
 		cfg.NRM.Subscribe(b.onNetworkDegradation)
 	}

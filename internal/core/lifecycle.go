@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gqosm/internal/gara"
 	"gqosm/internal/gram"
@@ -59,6 +60,7 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 	s.job = job.ID
 	b.logLocked("invoke", id, "service %q launched as %s (pid %d), reservation claimed", service, job.ID, job.PID)
 	b.mu.Unlock()
+	b.trace(id, sla.StateEstablished, sla.StateActive, resource.Capacity{}, "service invoked")
 	b.persist(id)
 	return job, nil
 }
@@ -93,6 +95,7 @@ func (b *Broker) Terminate(id sla.ID, reason string) error {
 	if err := b.teardown(id, sla.StateTerminated, reason); err != nil {
 		return err
 	}
+	b.met.terminated.Inc()
 	// Scenario 2: "a service completes successfully, and its resources
 	// are released. Adaptation can be used to increase resource
 	// allocation for a selected number of existing services."
@@ -123,8 +126,12 @@ func (b *Broker) terminateForCompensation(id sla.ID) error {
 			_ = b.cfg.GRAM.Cancel(job)
 		}
 	}
-	return b.teardown(id, sla.StateTerminated,
+	err := b.teardown(id, sla.StateTerminated,
 		"terminated to compensate for a new request (scenario 1)")
+	if err == nil {
+		b.met.terminated.Inc()
+	}
+	return err
 }
 
 // Expire marks a session whose validity window elapsed (resource
@@ -134,6 +141,7 @@ func (b *Broker) Expire(id sla.ID) error {
 	if err := b.teardown(id, sla.StateExpired, "validity period completed"); err != nil {
 		return err
 	}
+	b.met.expired.Inc()
 	b.afterRelease()
 	return nil
 }
@@ -149,6 +157,7 @@ func (b *Broker) teardown(id sla.ID, final sla.State, reason string) error {
 // racing Accept) use it so a session observed in one state cannot be torn
 // down after another goroutine has already moved it on.
 func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func(*session) bool) error {
+	started := time.Now()
 	b.mu.Lock()
 	s, ok := b.sessions[id]
 	if !ok {
@@ -163,6 +172,8 @@ func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
 	}
+	prevState := s.doc.State
+	released := s.doc.Allocated
 	if err := s.doc.Transition(final); err != nil {
 		b.mu.Unlock()
 		return err
@@ -185,6 +196,8 @@ func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func
 	if err := b.cfg.GARA.Cancel(handle); err != nil {
 		b.logf("clearing", id, "reservation cancel: %v", err)
 	}
+	b.met.teardownSeconds.Observe(time.Since(started).Seconds())
+	b.trace(id, prevState, final, released.Scale(-1), reason)
 	b.persist(id)
 	return nil
 }
@@ -243,6 +256,8 @@ func (b *Broker) restore(id sla.ID) error {
 		return fmt.Errorf("%w: degraded %s", ErrUnknownSession, id)
 	}
 	target := s.original
+	prevAlloc := s.doc.Allocated
+	prevState := s.doc.State
 	floor := s.doc.Spec.Floor()
 	handle := s.handle
 	spec := s.doc.Spec.Clone()
@@ -265,8 +280,11 @@ func (b *Broker) restore(id sla.ID) error {
 	if s.doc.State == sla.StateDegraded {
 		_ = s.doc.Transition(sla.StateActive)
 	}
+	newState := s.doc.State
 	b.logLocked("adapt", id, "restored to %v (scenario 2a)", target)
 	b.mu.Unlock()
+	b.met.restored.Inc()
+	b.trace(id, prevState, newState, target.Sub(prevAlloc), "restored (scenario 2a)")
 	b.persist(id)
 	return nil
 }
@@ -409,8 +427,11 @@ func (b *Broker) AcceptPromotion(id sla.ID) error {
 	b.mu.Lock()
 	s.original = offer.To
 	s.doc.Price += offer.OfferPrice
+	state := s.doc.State
 	b.logLocked("promotion", id, "accepted: upgraded to %v for %.2f", offer.To, offer.OfferPrice)
 	b.mu.Unlock()
+	b.met.promoted.Inc()
+	b.trace(id, state, state, offer.To.Sub(offer.From), "promotion accepted (scenario 2c)")
 	b.ledger.Record(pricing.Entry{
 		Kind: pricing.EntryPromotion, SLA: id, Amount: offer.OfferPrice,
 		At: b.clock.Now(), Note: "promotion accepted",
@@ -440,6 +461,7 @@ type OptimizeOutcome struct {
 // Grid Service provider, resources allocation is accordingly modified."
 func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 	defer b.debugCheck("optimize")
+	b.met.optimizerRuns.Inc()
 	b.mu.Lock()
 	type entry struct {
 		id     sla.ID
@@ -513,6 +535,7 @@ func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 	}
 	out.Applied = out.Changed > 0
 	if out.Applied {
+		b.met.optimizerApplied.Inc()
 		b.logf("optimize", "", "reallocated %d/%d controlled-load sessions, profit gain %.2f",
 			out.Changed, out.Considered, out.Gain)
 	}

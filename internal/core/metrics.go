@@ -1,0 +1,156 @@
+package core
+
+import (
+	"gqosm/internal/obs"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// brokerMetrics holds the broker's obs handles. Handles are nil-safe,
+// so a zero brokerMetrics (broker built without a registry) costs one
+// nil check per event and nothing else.
+type brokerMetrics struct {
+	// Latency histograms for the three operations with multi-component
+	// critical paths (discovery → allocator → GARA → timers).
+	admitSeconds    *obs.Histogram
+	renegSeconds    *obs.Histogram
+	teardownSeconds *obs.Histogram
+
+	// lifecycle counts every SLA state event by kind.
+	requests      *obs.Counter
+	requestErrors *obs.Counter
+	accepted      *obs.Counter
+	rejected      *obs.Counter
+	degraded      *obs.Counter
+	promoted      *obs.Counter
+	expired       *obs.Counter
+	terminated    *obs.Counter
+	restored      *obs.Counter
+	violations    *obs.Counter
+	failures      *obs.Counter
+	compensations *obs.Counter
+
+	optimizerRuns    *obs.Counter
+	optimizerApplied *obs.Counter
+
+	monitorTicks  *obs.Counter
+	monitorPanics *obs.Counter
+}
+
+func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
+	lifecycle := func(event string) *obs.Counter {
+		return reg.Counter("gqosm_broker_lifecycle_total",
+			"SLA lifecycle events by kind", "event", event)
+	}
+	return brokerMetrics{
+		admitSeconds: reg.Histogram("gqosm_broker_admission_seconds",
+			"RequestService latency (discovery, admission, reservation)", nil),
+		renegSeconds: reg.Histogram("gqosm_broker_renegotiation_seconds",
+			"Renegotiate latency", nil),
+		teardownSeconds: reg.Histogram("gqosm_broker_teardown_seconds",
+			"Session teardown latency (release, unbind, cancel)", nil),
+
+		requests:      lifecycle("request"),
+		requestErrors: lifecycle("request_error"),
+		accepted:      lifecycle("accept"),
+		rejected:      lifecycle("reject"),
+		degraded:      lifecycle("degrade"),
+		promoted:      lifecycle("promote"),
+		expired:       lifecycle("expire"),
+		terminated:    lifecycle("terminate"),
+		restored:      lifecycle("restore"),
+		violations:    lifecycle("violation"),
+		failures:      lifecycle("failure"),
+		compensations: lifecycle("compensate"),
+
+		optimizerRuns: reg.Counter("gqosm_broker_optimizer_runs_total",
+			"Section 5.3 optimizer executions"),
+		optimizerApplied: reg.Counter("gqosm_broker_optimizer_applied_total",
+			"Optimizer runs whose reallocation cleared the gain threshold"),
+
+		monitorTicks: reg.Counter("gqosm_monitor_ticks_total",
+			"Periodic management loop ticks"),
+		monitorPanics: reg.Counter("gqosm_monitor_panics_total",
+			"Panics recovered inside the monitor tick"),
+	}
+}
+
+// registerGauges mounts the scrape-time callback gauges: per-partition
+// utilization straight off the Algorithm-1 allocator, and session
+// counts by SLA state. Callbacks take alloc.mu / b.mu only at scrape
+// time, so the hot path pays nothing.
+func (b *Broker) registerGauges(reg *obs.Registry) {
+	for poolIdx, pool := range []string{"guaranteed", "adaptive", "besteffort"} {
+		for _, kind := range resource.Kinds {
+			poolIdx, kind := poolIdx, kind
+			reg.GaugeFunc("gqosm_partition_utilization",
+				"Used fraction of each partition pool per resource dimension",
+				func() float64 {
+					u := b.alloc.Snapshot()[poolIdx]
+					total := u.Capacity.Get(kind) - u.Offline.Get(kind)
+					if total <= resource.Epsilon {
+						return 0
+					}
+					return (u.Guaranteed.Get(kind) + u.BestEffort.Get(kind)) / total
+				},
+				"pool", pool, "dim", kind.String())
+		}
+	}
+	for _, state := range []sla.State{
+		sla.StateProposed, sla.StateEstablished, sla.StateActive,
+		sla.StateDegraded, sla.StateViolated, sla.StateTerminated,
+		sla.StateExpired,
+	} {
+		state := state
+		reg.GaugeFunc("gqosm_broker_sessions",
+			"Broker sessions by SLA state",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				n := 0
+				for _, s := range b.sessions {
+					if s.doc.State == state {
+						n++
+					}
+				}
+				return float64(n)
+			},
+			"state", state.String())
+	}
+}
+
+// trace records one structured lifecycle event in the obs ring. delta
+// is the capacity change the transition applied to the partition pools
+// (zero Capacity renders as an empty delta). from/to of noState render
+// as "" (session creation has no prior state).
+func (b *Broker) trace(id sla.ID, from, to sla.State, delta resource.Capacity, reason string) {
+	var d string
+	if !delta.IsZero() {
+		d = delta.String()
+	}
+	render := func(s sla.State) string {
+		if s == noState {
+			return ""
+		}
+		return s.String()
+	}
+	b.obs.Trace().Add(obs.TraceEvent{
+		At:      b.clock.Now(),
+		Session: string(id),
+		From:    render(from),
+		To:      render(to),
+		Delta:   d,
+		Reason:  reason,
+	})
+}
+
+// noState marks "no prior state" in trace events (session creation).
+const noState = sla.State(-1)
+
+// Obs returns the broker's metrics registry (never nil; a private
+// registry is created when Config.Obs is unset).
+func (b *Broker) Obs() *obs.Registry { return b.obs }
+
+// MonitorPanics reports how many monitor ticks panicked and were
+// recovered.
+func (b *Broker) MonitorPanics() int64 { return b.met.monitorPanics.Value() }

@@ -63,6 +63,25 @@ func (m *Monitor) Ticks() int {
 }
 
 func (m *Monitor) tick() {
+	// Re-arm from a defer so that a panic anywhere in the management
+	// work cannot kill the loop: one poisoned session or a faulty RM
+	// callback would otherwise silently end all future adaptation. The
+	// re-arm decision and the tick count share m.mu with Stop, so a tick
+	// racing Stop observes the stopped flag and never re-arms.
+	defer func() {
+		if r := recover(); r != nil {
+			m.broker.met.monitorPanics.Inc()
+			m.broker.logf("monitor", "", "tick panic recovered: %v", r)
+		}
+		m.mu.Lock()
+		m.ticks++
+		if !m.stopped {
+			m.timer = m.clock.AfterFunc(m.interval, m.tick)
+		}
+		m.mu.Unlock()
+	}()
+	m.broker.met.monitorTicks.Inc()
+
 	// The NRM check fires degradation notifications into the broker's
 	// scenario-3 handler.
 	if m.broker.cfg.NRM != nil {
@@ -70,11 +89,4 @@ func (m *Monitor) tick() {
 	}
 	m.broker.ExpireDue()
 	_, _ = m.broker.RunOptimizer()
-
-	m.mu.Lock()
-	m.ticks++
-	if !m.stopped {
-		m.timer = m.clock.AfterFunc(m.interval, m.tick)
-	}
-	m.mu.Unlock()
 }

@@ -79,6 +79,22 @@ type Offer struct {
 // services, verify resource availability (adapting active sessions if
 // necessary — scenario 1), temporarily reserve, and return a priced offer.
 func (b *Broker) RequestService(req Request) (*Offer, error) {
+	// Admission latency is wall-clock (time.Now, not b.clock): the
+	// injected clock measures simulated time, while the histogram
+	// measures how long the broker actually works.
+	started := time.Now()
+	offer, err := b.requestService(req)
+	b.met.admitSeconds.Observe(time.Since(started).Seconds())
+	if err != nil {
+		b.met.requestErrors.Inc()
+		return nil, err
+	}
+	b.met.requests.Inc()
+	b.trace(offer.SLA.ID, noState, sla.StateProposed, offer.SLA.Allocated, "offer proposed")
+	return offer, nil
+}
+
+func (b *Broker) requestService(req Request) (*Offer, error) {
 	defer b.debugCheck("request")
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -319,6 +335,9 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 			freed = true
 		}
 	}
+	if freed {
+		b.met.compensations.Inc()
+	}
 	if !needed.FitsIn(b.alloc.AvailableGuaranteed()) {
 		return freed, fmt.Errorf("core: compensation freed insufficient capacity for %v", needed)
 	}
@@ -340,6 +359,8 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 		b.mu.Unlock()
 		return nil
 	}
+	prevAlloc := doc.Allocated
+	prevState := doc.State
 	handle := s.handle
 	spec := doc.Spec.Clone()
 	b.mu.Unlock()
@@ -356,8 +377,11 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 	if s.doc.State == sla.StateActive {
 		_ = s.doc.Transition(sla.StateDegraded)
 	}
+	newState := s.doc.State
 	b.logLocked("adapt", id, "degraded to floor %v (scenario 1 compensation)", floor)
 	b.mu.Unlock()
+	b.met.degraded.Inc()
+	b.trace(id, prevState, newState, floor.Sub(prevAlloc), "degraded to floor (scenario 1)")
 	b.persist(id)
 	return nil
 }
@@ -388,6 +412,8 @@ func (b *Broker) Accept(id sla.ID) error {
 	b.logLocked("sla", id, "established; resources committed; charged %.2f", price)
 	b.mu.Unlock()
 
+	b.met.accepted.Inc()
+	b.trace(id, sla.StateProposed, sla.StateEstablished, resource.Capacity{}, "offer accepted")
 	b.ledger.Charge(id, price, b.clock.Now(), "session charge")
 	b.persist(id)
 	return nil
@@ -399,8 +425,12 @@ func (b *Broker) Accept(id sla.ID) error {
 // torn down anyway.
 func (b *Broker) Reject(id sla.ID) error {
 	defer b.debugCheck("reject")
-	return b.teardownIf(id, sla.StateTerminated, "offer rejected by client",
+	err := b.teardownIf(id, sla.StateTerminated, "offer rejected by client",
 		func(s *session) bool { return s.doc.State == sla.StateProposed })
+	if err == nil {
+		b.met.rejected.Inc()
+	}
+	return err
 }
 
 // expireOffer is the §3.1 auto-cancel: "if the RS does not receive such
@@ -409,9 +439,12 @@ func (b *Broker) Reject(id sla.ID) error {
 // teardown: an Accept racing the confirmation deadline either establishes
 // the session (and the expiry is a no-op) or loses cleanly.
 func (b *Broker) expireOffer(id sla.ID) {
-	_ = b.teardownIf(id, sla.StateTerminated,
+	err := b.teardownIf(id, sla.StateTerminated,
 		"confirmation window elapsed; reservation canceled",
 		func(s *session) bool { return s.doc.State == sla.StateProposed })
+	if err == nil {
+		b.met.expired.Inc()
+	}
 }
 
 // BestEffortRequest asks for best-effort capacity — no SLA, no

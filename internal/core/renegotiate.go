@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
@@ -31,6 +32,8 @@ type RenegotiationResult struct {
 // keeps its identity, reservation handle and validity window; only
 // quality and price change. On failure the previous agreement stands.
 func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult, error) {
+	started := time.Now()
+	defer func() { b.met.renegSeconds.Observe(time.Since(started).Seconds()) }()
 	defer b.debugCheck("renegotiate")
 	if err := newSpec.Validate(); err != nil {
 		return nil, err

@@ -258,13 +258,17 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 			if err := b.applyAllocation(id, handle, spec, alt, true); err == nil {
 				b.mu.Lock()
 				s.degraded = true
+				prevState := s.doc.State
 				if s.doc.State == sla.StateActive {
 					_ = s.doc.Transition(sla.StateDegraded)
 				} else if s.doc.State == sla.StateViolated {
 					_ = s.doc.Transition(sla.StateDegraded)
 				}
+				newState := s.doc.State
 				b.logLocked("adapt", id, "switched to alternative QoS %v (scenario 3b)", alt)
 				b.mu.Unlock()
+				b.met.degraded.Inc()
+				b.trace(id, prevState, newState, alt.Sub(doc.Allocated), "alternative QoS (scenario 3b)")
 				b.persist(id)
 				return
 			}
@@ -290,13 +294,17 @@ func (b *Broker) recordViolation(id sla.ID) {
 		return
 	}
 	s.violations++
+	prevState := s.doc.State
 	if s.doc.State == sla.StateActive || s.doc.State == sla.StateDegraded {
 		_ = s.doc.Transition(sla.StateViolated)
 	}
+	newState := s.doc.State
 	pen := s.doc.Penalty
 	count := s.violations
 	b.logLocked("violation", id, "SLA violation #%d detected", count)
 	b.mu.Unlock()
+	b.met.violations.Inc()
+	b.trace(id, prevState, newState, resource.Capacity{}, fmt.Sprintf("SLA violation #%d", count))
 
 	if amount := pricing.PenaltyFor(pen, 0); amount > 0 {
 		b.ledger.Penalize(id, amount, b.clock.Now(), "SLA violation")
@@ -342,6 +350,9 @@ func (b *Broker) ExpireDue() []sla.ID {
 // event is logged. Recovery is signalled with the zero capacity.
 func (b *Broker) NotifyFailure(offline resource.Capacity) []Preemption {
 	defer b.debugCheck("failure")
+	if !offline.IsZero() {
+		b.met.failures.Inc()
+	}
 	pre := b.alloc.SetOffline(offline)
 	if offline.IsZero() {
 		b.logf("failure", "", "capacity recovered; adaptive reserve replenished")

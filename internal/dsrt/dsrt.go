@@ -23,6 +23,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"gqosm/internal/obs"
 )
 
 // Class is a DSRT CPU service class, chosen by the usage pattern of the
@@ -306,4 +308,22 @@ func (s *Scheduler) Utilization() float64 {
 		return 0
 	}
 	return s.Reserved() / cap
+}
+
+// Instrument registers CPU-reserve gauges on reg. All values are
+// computed at scrape time from scheduler state — the reservation path
+// itself is untouched.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("gqosm_dsrt_cpu_capacity",
+		"Total reservable CPU share", s.Capacity)
+	reg.GaugeFunc("gqosm_dsrt_cpu_reserved",
+		"Sum of contracted CPU shares", s.Reserved)
+	reg.GaugeFunc("gqosm_dsrt_cpu_utilization",
+		"Reserved fraction of reservable CPU", s.Utilization)
+	reg.GaugeFunc("gqosm_dsrt_processes",
+		"Processes under CPU contract", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.procs))
+		})
 }

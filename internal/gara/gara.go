@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"gqosm/internal/obs"
 	"gqosm/internal/rsl"
 )
 
@@ -124,6 +125,46 @@ type System struct {
 	nextID   int
 	managers map[string]ResourceManager
 	res      map[Handle]*Reservation
+	// met holds nil-safe reservation lifecycle counters; zero until
+	// Instrument is called.
+	met garaMetrics
+}
+
+type garaMetrics struct {
+	created, createErrors *obs.Counter
+	bound, unbound        *obs.Counter
+	modified, canceled    *obs.Counter
+}
+
+// Instrument registers reservation lifecycle metrics on reg. Call once
+// at assembly time, before the system serves requests.
+func (s *System) Instrument(reg *obs.Registry) {
+	op := func(o string) *obs.Counter {
+		return reg.Counter("gqosm_gara_reservations_total",
+			"GARA reservation operations by op", "op", o)
+	}
+	s.mu.Lock()
+	s.met = garaMetrics{
+		created:      op("create"),
+		createErrors: op("create_error"),
+		bound:        op("bind"),
+		unbound:      op("unbind"),
+		modified:     op("modify"),
+		canceled:     op("cancel"),
+	}
+	s.mu.Unlock()
+	reg.GaugeFunc("gqosm_gara_reservations_active",
+		"Reservations currently held (not canceled)", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, r := range s.res {
+				if r.Status != StatusCanceled {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 // NewSystem returns a System with no managers registered.
@@ -160,6 +201,16 @@ func (s *System) ManagerTypes() []string {
 // co-allocated atomically: if any sub-request fails, the ones already made
 // are cancelled and the error returned.
 func (s *System) Create(reqRSL string, start, end time.Time, tag string) (Handle, error) {
+	h, err := s.create(reqRSL, start, end, tag)
+	if err != nil {
+		s.met.createErrors.Inc()
+	} else {
+		s.met.created.Inc()
+	}
+	return h, err
+}
+
+func (s *System) create(reqRSL string, start, end time.Time, tag string) (Handle, error) {
 	node, err := rsl.Parse(reqRSL)
 	if err != nil {
 		return "", fmt.Errorf("gara: %w", err)
@@ -243,6 +294,7 @@ func (s *System) Bind(h Handle, param BindParam) error {
 			return fmt.Errorf("gara: bind %s: %w", h, err)
 		}
 	}
+	s.met.bound.Inc()
 	return nil
 }
 
@@ -269,6 +321,7 @@ func (s *System) Unbind(h Handle) error {
 			return fmt.Errorf("gara: unbind %s: %w", h, err)
 		}
 	}
+	s.met.unbound.Inc()
 	return nil
 }
 
@@ -286,6 +339,7 @@ func (s *System) Cancel(h Handle) error {
 		return fmt.Errorf("%w: %s", ErrCanceled, h)
 	}
 	r.Status = StatusCanceled
+	s.met.canceled.Inc()
 	type pair struct {
 		rm    ResourceManager
 		token string
@@ -350,6 +404,7 @@ func (s *System) Modify(h Handle, newRSL string) error {
 	s.mu.Lock()
 	r.Spec = newRSL
 	s.mu.Unlock()
+	s.met.modified.Inc()
 	return nil
 }
 

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"gqosm/internal/obs"
+
 	"gqosm/internal/clockx"
 	"gqosm/internal/rsl"
 )
@@ -95,6 +97,45 @@ type Manager struct {
 	jobs    map[JobID]*jobState
 	subs    []StateFunc
 	closed  bool
+
+	// met holds nil-safe job-state counters; zero until Instrument is
+	// called.
+	met gramMetrics
+}
+
+type gramMetrics struct {
+	submitted, submitErrors *obs.Counter
+	done, failed, canceled  *obs.Counter
+}
+
+// Instrument registers job-state metrics on reg. Call once at assembly
+// time, before the manager accepts jobs.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	state := func(s string) *obs.Counter {
+		return reg.Counter("gqosm_gram_jobs_total",
+			"GRAM job state transitions by state", "state", s)
+	}
+	m.mu.Lock()
+	m.met = gramMetrics{
+		submitted:    state("submitted"),
+		submitErrors: state("submit_error"),
+		done:         state("done"),
+		failed:       state("failed"),
+		canceled:     state("canceled"),
+	}
+	m.mu.Unlock()
+	reg.GaugeFunc("gqosm_gram_jobs_running",
+		"Jobs currently in a non-terminal state", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			n := 0
+			for _, st := range m.jobs {
+				if !st.job.State.Terminal() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 type jobState struct {
@@ -121,6 +162,14 @@ func (m *Manager) Subscribe(f StateFunc) {
 // seconds) schedules automatic completion, otherwise the job runs until
 // Cancel or Fail.
 func (m *Manager) Submit(spec string) (Job, error) {
+	job, err := m.submit(spec)
+	if err != nil {
+		m.met.submitErrors.Inc()
+	}
+	return job, err
+}
+
+func (m *Manager) submit(spec string) (Job, error) {
 	node, err := rsl.Parse(spec)
 	if err != nil {
 		return Job{}, fmt.Errorf("gram: bad RSL: %w", err)
@@ -160,6 +209,7 @@ func (m *Manager) Submit(spec string) (Job, error) {
 	job := st.job
 	subs := append([]StateFunc(nil), m.subs...)
 	m.mu.Unlock()
+	m.met.submitted.Inc()
 	for _, s := range subs {
 		s(job)
 	}
@@ -197,6 +247,14 @@ func (m *Manager) finish(id JobID, final State, reason string) error {
 	job := st.job
 	subs := append([]StateFunc(nil), m.subs...)
 	m.mu.Unlock()
+	switch final {
+	case StateDone:
+		m.met.done.Inc()
+	case StateFailed:
+		m.met.failed.Inc()
+	case StateCanceled:
+		m.met.canceled.Inc()
+	}
 	for _, s := range subs {
 		s(job)
 	}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 )
 
@@ -270,6 +271,46 @@ type Manager struct {
 	nextID int
 	flows  map[FlowID]*flowState
 	subs   []DegradationFunc
+
+	// met holds nil-safe flow-check counters; zero until Instrument is
+	// called.
+	met nrmMetrics
+}
+
+type nrmMetrics struct {
+	checks        *obs.Counter
+	flowsChecked  *obs.Counter
+	degradations  *obs.Counter
+	reservations  *obs.Counter
+	reserveErrors *obs.Counter
+	releases      *obs.Counter
+}
+
+// Instrument registers flow metrics on reg. Call once at assembly time,
+// before the manager serves requests.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	m.met = nrmMetrics{
+		checks: reg.Counter("gqosm_nrm_checks_total",
+			"CheckAll sweeps over active flows"),
+		flowsChecked: reg.Counter("gqosm_nrm_flows_checked_total",
+			"Individual flow measurements taken by CheckAll"),
+		degradations: reg.Counter("gqosm_nrm_degradations_total",
+			"Flows found delivering below reserved bandwidth"),
+		reservations: reg.Counter("gqosm_nrm_reservations_total",
+			"End-to-end bandwidth reservations established"),
+		reserveErrors: reg.Counter("gqosm_nrm_reserve_errors_total",
+			"Failed bandwidth reservation attempts"),
+		releases: reg.Counter("gqosm_nrm_releases_total",
+			"Bandwidth reservations released"),
+	}
+	m.mu.Unlock()
+	reg.GaugeFunc("gqosm_nrm_flows_active",
+		"Flows currently held", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.flows))
+		})
 }
 
 type flowState struct {
@@ -305,6 +346,16 @@ func (m *Manager) Subscribe(f DegradationFunc) {
 // endpoints over [start, end). Every link along the shortest domain path
 // must admit the reservation; on any failure all segments are rolled back.
 func (m *Manager) Reserve(srcIP, dstIP string, mbps float64, start, end time.Time, tag string) (*Flow, error) {
+	f, err := m.reserve(srcIP, dstIP, mbps, start, end, tag)
+	if err != nil {
+		m.met.reserveErrors.Inc()
+	} else {
+		m.met.reservations.Inc()
+	}
+	return f, err
+}
+
+func (m *Manager) reserve(srcIP, dstIP string, mbps float64, start, end time.Time, tag string) (*Flow, error) {
 	if mbps <= 0 {
 		return nil, fmt.Errorf("nrm: non-positive bandwidth %g", mbps)
 	}
@@ -374,6 +425,7 @@ func (m *Manager) Release(id FlowID) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownFlow, id)
 	}
+	m.met.releases.Inc()
 	var firstErr error
 	for i, rid := range st.reservations {
 		if err := st.links[i].Pool.Release(rid); err != nil && firstErr == nil {
@@ -454,6 +506,8 @@ func (m *Manager) CheckAll(now time.Time) []Measurement {
 	subs := append([]DegradationFunc(nil), m.subs...)
 	m.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.met.checks.Inc()
+	m.met.flowsChecked.Add(int64(len(ids)))
 
 	var degraded []Measurement
 	for _, id := range ids {
@@ -466,6 +520,7 @@ func (m *Manager) CheckAll(now time.Time) []Measurement {
 			continue
 		}
 		if meas.BandwidthMbps < flow.Mbps*0.99 {
+			m.met.degradations.Inc()
 			degraded = append(degraded, meas)
 			for _, s := range subs {
 				s(flow, meas)

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefTraceCapacity bounds the lifecycle trace ring. 1024 events cover
+// several minutes of heavy broker traffic while keeping the ring under
+// ~100KB.
+const DefTraceCapacity = 1024
+
+// TraceEvent is one structured lifecycle event: a session moved
+// between SLA states (or was created/destroyed), with the capacity
+// delta that move applied to the partition pools and why.
+type TraceEvent struct {
+	At      time.Time `json:"at"`
+	Session string    `json:"session"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Delta   string    `json:"delta,omitempty"`
+	Reason  string    `json:"reason,omitempty"`
+}
+
+// Trace is a bounded ring buffer of TraceEvents. When full, new events
+// overwrite the oldest. All methods are safe for concurrent use and
+// safe on a nil receiver.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	next  int   // index the next event is written to
+	total int64 // events ever added
+}
+
+// NewTrace returns a ring holding up to capacity events (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Add appends an event, evicting the oldest when full. Safe on a nil
+// receiver.
+func (t *Trace) Add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+}
+
+// Events returns the retained events, oldest first. Safe on a nil
+// receiver.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Total returns how many events were ever added, including evicted
+// ones. Safe on a nil receiver.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -21,6 +21,7 @@ package rsl
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -305,7 +306,11 @@ func (p *parser) scanValue() (Value, error) {
 	if word == "" {
 		return Value{}, &ParseError{Offset: p.pos, Msg: "expected value"}
 	}
-	if f, err := strconv.ParseFloat(word, 64); err == nil {
+	// Only finite parses count as numbers. ParseFloat accepts "inf",
+	// "nan" and overflows like "1e999" (returning ±Inf with ErrRange);
+	// letting those through as numeric poisons every evaluator
+	// comparison and any capacity math reading the value via Num().
+	if f, err := strconv.ParseFloat(word, 64); err == nil && !math.IsInf(f, 0) && !math.IsNaN(f) {
 		return Value{Raw: word, Num: f, IsNum: true}, nil
 	}
 	return Value{Raw: word}, nil

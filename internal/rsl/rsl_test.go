@@ -299,3 +299,69 @@ func TestOpStringUnknown(t *testing.T) {
 		t.Errorf("Op(0) = %q", got)
 	}
 }
+
+// TestNonFiniteWordsStayStrings pins the lexer's numeric classification:
+// strconv.ParseFloat accepts "inf"/"nan" spellings (and returns ±Inf for
+// overflow literals with ErrRange), but none of them are usable numbers —
+// a non-finite Num poisons evaluator comparisons and any capacity math
+// reading the value through Num(). They must stay string values.
+func TestNonFiniteWordsStayStrings(t *testing.T) {
+	for _, word := range []string{
+		"inf", "Inf", "INF", "-inf", "infinity", "Infinity",
+		"nan", "NaN", "NAN", "1e999", "-1e999", "0x1p99999",
+	} {
+		n := mustParse(t, "count="+word)
+		if n.Value.IsNum {
+			t.Errorf("%q classified as numeric (Num=%v)", word, n.Value.Num)
+		}
+		if n.Value.Raw != word {
+			t.Errorf("%q: Raw = %q", word, n.Value.Raw)
+		}
+	}
+	// Finite spellings keep working, including explicit signs.
+	for word, want := range map[string]float64{
+		"+5": 5, "-3.5": -3.5, "1e3": 1000, "0x1p4": 16,
+	} {
+		n := mustParse(t, "count="+word)
+		if !n.Value.IsNum || n.Value.Num != want {
+			t.Errorf("%q: IsNum=%v Num=%v, want %v", word, n.Value.IsNum, n.Value.Num, want)
+		}
+	}
+}
+
+// TestNonFiniteRoundTrip checks String() → Parse round-trips for the
+// rejected words: they render as bare words and re-parse equal.
+func TestNonFiniteRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`&(count=inf)(label="x")`,
+		`&(count=nan)`,
+		`&(count=1e999)`,
+	} {
+		n := mustParse(t, src)
+		back := mustParse(t, n.String())
+		if !n.Equal(back) {
+			t.Errorf("round trip of %q: %q not Equal", src, n.String())
+		}
+	}
+}
+
+// TestNonFiniteEvaluator demonstrates the bug's blast radius: before the
+// fix, `count=inf` parsed as Num=+Inf, so Num("count", def) handed +Inf to
+// capacity math; now the value is a string and the default applies.
+func TestNonFiniteEvaluator(t *testing.T) {
+	n := mustParse(t, `&(reservation-type="compute")(count=inf)`)
+	if got := n.Num("count", 0); got != 0 {
+		t.Fatalf("Num(count) = %v, want default 0 for non-finite literal", got)
+	}
+	nan := mustParse(t, `count=nan`)
+	if nan.Value.IsNum {
+		t.Fatal("nan is numeric")
+	}
+	// String comparison semantics apply to the unparseable word.
+	if !nan.Eval(Bindings{"count": {Raw: "nan"}}) {
+		t.Fatal("string equality on the raw word should hold")
+	}
+	if nan.Eval(Bindings{"count": NumValue(4)}) {
+		t.Fatal(`"4" = "nan" should be false under string comparison`)
+	}
+}

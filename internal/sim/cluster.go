@@ -15,6 +15,7 @@ import (
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
 	"gqosm/internal/nrm"
+	"gqosm/internal/obs"
 	"gqosm/internal/registry"
 	"gqosm/internal/resource"
 )
@@ -38,6 +39,9 @@ type ClusterConfig struct {
 	ConfirmWindow time.Duration
 	// MinOptimizerGain forwarded to the broker.
 	MinOptimizerGain float64
+	// Obs receives the cluster's metrics; nil lets the broker create a
+	// private registry (reachable via Cluster.Obs).
+	Obs *obs.Registry
 }
 
 // Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
@@ -52,6 +56,7 @@ type Cluster struct {
 	MDS      *mds.Directory
 	GRAM     *gram.Manager
 	GARA     *gara.System
+	Obs      *obs.Registry
 }
 
 // NewCluster assembles a cluster at the Epoch.
@@ -131,9 +136,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		MDS:              dir,
 		ConfirmWindow:    cfg.ConfirmWindow,
 		MinOptimizerGain: cfg.MinOptimizerGain,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
+	}
+	metrics := broker.Obs()
+	g.Instrument(metrics)
+	gramM.Instrument(metrics)
+	if netMgr != nil {
+		netMgr.Instrument(metrics)
 	}
 	return &Cluster{
 		Clock:    clock,
@@ -145,6 +157,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		MDS:      dir,
 		GRAM:     gramM,
 		GARA:     g,
+		Obs:      metrics,
 	}, nil
 }
 

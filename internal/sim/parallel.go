@@ -9,6 +9,7 @@ import (
 
 	"gqosm/internal/core"
 	"gqosm/internal/invariant"
+	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
 )
@@ -37,6 +38,8 @@ type ParallelConfig struct {
 	Seed int64
 	// Plan is the Algorithm-1 partition; defaults to the §5.6 partition.
 	Plan core.CapacityPlan
+	// Obs receives the run's metrics; nil creates a private registry.
+	Obs *obs.Registry
 }
 
 // ParallelResult reports a RunParallel run.
@@ -48,10 +51,21 @@ type ParallelResult struct {
 	// Checks counts invariant suite passes (one per quiesce point plus
 	// the post-drain pass).
 	Checks int
-	// Elapsed is the wall-clock time spent in the phased operation loop.
+	// Elapsed is the wall-clock time spent in the phased operation loop,
+	// in nanoseconds when marshalled (time.Duration's default encoding).
 	Elapsed time.Duration
+	// ElapsedMS duplicates Elapsed in milliseconds for consumers that
+	// should not have to know Go's Duration-as-nanoseconds convention.
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// OpsPerSec is Ops / Elapsed.
 	OpsPerSec float64
+	// AdmitP50MS / AdmitP95MS / AdmitP99MS are admission-latency
+	// percentiles in milliseconds, estimated from the broker's
+	// gqosm_broker_admission_seconds histogram by linear interpolation
+	// within fixed buckets.
+	AdmitP50MS float64 `json:"admit_p50_ms"`
+	AdmitP95MS float64 `json:"admit_p95_ms"`
+	AdmitP99MS float64 `json:"admit_p99_ms"`
 }
 
 // parClient is one goroutine client's deterministic schedule and local
@@ -93,7 +107,10 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Plan.Total().IsZero() {
 		cfg.Plan = DefaultParallelPlan()
 	}
-	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan})
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -135,9 +152,17 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
 	if res.Elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
 	}
+	// The registry hands back existing series on re-registration, so the
+	// broker's admission histogram is reachable by name without plumbing.
+	admit := cfg.Obs.Histogram("gqosm_broker_admission_seconds",
+		"RequestService latency (discovery, admission, reservation)", nil)
+	res.AdmitP50MS = admit.Quantile(0.50) * 1e3
+	res.AdmitP95MS = admit.Quantile(0.95) * 1e3
+	res.AdmitP99MS = admit.Quantile(0.99) * 1e3
 
 	// Drain everything and verify no capacity was lost or double-spent.
 	cluster.Broker.NotifyFailure(resource.Capacity{})

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 )
 
@@ -107,16 +108,19 @@ func Unmarshal(data []byte, v any) error {
 // into their request type.
 type HandlerFunc func(body []byte) (any, error)
 
-// Mux dispatches SOAP requests on the body element's local name. It
-// implements http.Handler. Safe for concurrent use.
+// Mux dispatches SOAP requests on the body element's local name. Plain
+// HTTP endpoints (metrics, profiling) can be mounted next to the SOAP
+// service with HandleHTTP. It implements http.Handler. Safe for
+// concurrent use.
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]HandlerFunc
+	http     map[string]http.Handler
 }
 
 // NewMux returns an empty mux.
 func NewMux() *Mux {
-	return &Mux{handlers: make(map[string]HandlerFunc)}
+	return &Mux{handlers: make(map[string]HandlerFunc), http: make(map[string]http.Handler)}
 }
 
 // Handle registers a handler for the given body element name, replacing
@@ -127,8 +131,43 @@ func (m *Mux) Handle(element string, h HandlerFunc) {
 	m.handlers[element] = h
 }
 
+// HandleHTTP mounts a plain HTTP handler on the given URL path,
+// replacing any previous handler for it. A path ending in "/" matches
+// the whole subtree (like net/http's ServeMux), which is how pprof's
+// /debug/pprof/ family is mounted. Matched requests bypass SOAP
+// dispatch entirely: any method is allowed and the body is not parsed.
+func (m *Mux) HandleHTTP(path string, h http.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.http[path] = h
+}
+
+// httpHandler returns the plain-HTTP handler for path: an exact match
+// wins, then the longest registered subtree prefix.
+func (m *Mux) httpHandler(path string) http.Handler {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if h, ok := m.http[path]; ok {
+		return h
+	}
+	var (
+		best    http.Handler
+		bestLen int
+	)
+	for p, h := range m.http {
+		if len(p) > bestLen && p[len(p)-1] == '/' && strings.HasPrefix(path, p) {
+			best, bestLen = h, len(p)
+		}
+	}
+	return best
+}
+
 // ServeHTTP implements http.Handler.
 func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := m.httpHandler(r.URL.Path); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeFault(w, http.StatusMethodNotAllowed, "Client", "SOAP requires POST", "")
 		return

@@ -3,6 +3,7 @@ package soapx
 import (
 	"encoding/xml"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -154,4 +155,86 @@ func TestClientBadEndpoint(t *testing.T) {
 	if err := c.Call(&pingReq{Message: "x"}, &resp); err == nil {
 		t.Error("Call to dead endpoint succeeded")
 	}
+}
+
+func TestHandleHTTPExactPath(t *testing.T) {
+	mux := NewMux()
+	mux.Handle("ping", func(body []byte) (any, error) {
+		var req pingReq
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return &pingResp{Echo: req.Message}, nil
+	})
+	mux.HandleHTTP("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("metric_total 1\n"))
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Plain GET on the mounted path bypasses SOAP dispatch.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "metric_total 1") {
+		t.Fatalf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+
+	// SOAP dispatch on other paths is untouched.
+	c := &Client{Endpoint: srv.URL + "/"}
+	var pr pingResp
+	if err := c.Call(&pingReq{Message: "hi"}, &pr); err != nil {
+		t.Fatalf("SOAP call after HandleHTTP: %v", err)
+	}
+	if pr.Echo != "hi" {
+		t.Errorf("echo = %q", pr.Echo)
+	}
+
+	// Unmounted paths still fault on GET.
+	resp2, err := http.Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp2)
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /other = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestHandleHTTPSubtree(t *testing.T) {
+	mux := NewMux()
+	mux.HandleHTTP("/debug/pprof/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pprof:" + r.URL.Path))
+	}))
+	mux.HandleHTTP("/debug/pprof/cmdline", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("cmdline"))
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, tc := range []struct{ path, want string }{
+		{"/debug/pprof/", "pprof:/debug/pprof/"},
+		{"/debug/pprof/heap", "pprof:/debug/pprof/heap"},
+		{"/debug/pprof/cmdline", "cmdline"}, // exact beats subtree
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body := readAll(t, resp); body != tc.want {
+			t.Errorf("GET %s = %q, want %q", tc.path, body, tc.want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }
