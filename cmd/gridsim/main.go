@@ -16,6 +16,7 @@
 //	gridsim -experiment F4|F6        # broker interaction transcript
 //	gridsim -experiment all          # everything
 //	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
+//	gridsim -parallel -shards 4               # same, against a 4-shard broker
 package main
 
 import (
@@ -51,13 +52,14 @@ func run(args []string) error {
 		clients    = fs.Int("clients", 8, "concurrent clients for -parallel")
 		ops        = fs.Int("ops", 10000, "total lifecycle operations for -parallel")
 		phases     = fs.Int("phases", 10, "quiesce points for -parallel")
+		shards     = fs.Int("shards", 1, "broker shards for the -parallel run (serial baseline stays monolithic)")
 		jsonOut    = fs.Bool("json", false, "emit -parallel results as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel {
-		return runParallel(*clients, *ops, *phases, *seed, *jsonOut)
+		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut)
 	}
 
 	runners := map[string]func(int64, bool) error{
@@ -96,7 +98,7 @@ func run(args []string) error {
 // registry so the serial baseline's counters do not pollute the parallel
 // run's. The JSON form is the shape recorded in BENCH_parallel.json (see
 // README.md "Benchmark artifact").
-func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
+func runParallel(clients, ops, phases, shards int, seed int64, jsonOut bool) error {
 	serialObs, parObs := obs.NewRegistry(), obs.NewRegistry()
 	serial, err := sim.RunParallel(sim.ParallelConfig{
 		Clients: 1, Ops: ops, Phases: phases, Seed: seed, Obs: serialObs,
@@ -105,7 +107,7 @@ func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
 		return fmt.Errorf("serial baseline: %w", err)
 	}
 	par, err := sim.RunParallel(sim.ParallelConfig{
-		Clients: clients, Ops: ops, Phases: phases, Seed: seed, Obs: parObs,
+		Clients: clients, Ops: ops, Phases: phases, Seed: seed, Shards: shards, Obs: parObs,
 	})
 	if err != nil {
 		return fmt.Errorf("parallel stress: %w", err)
@@ -125,11 +127,14 @@ func runParallel(clients, ops, phases int, seed int64, jsonOut bool) error {
 		name string
 		r    *sim.ParallelResult
 	}{{"serial", serial}, {"parallel", par}} {
-		fmt.Printf("%-9s clients=%-3d ops=%-6d requested=%-5d admitted=%-5d terminated=%-5d checks=%d  %8.0f ops/s\n",
-			row.name, row.r.Clients, row.r.Ops, row.r.Requested,
+		fmt.Printf("%-9s clients=%-3d shards=%-2d ops=%-6d requested=%-5d admitted=%-5d terminated=%-5d checks=%d  %8.0f ops/s\n",
+			row.name, row.r.Clients, row.r.Shards, row.r.Ops, row.r.Requested,
 			row.r.Admitted, row.r.Terminated, row.r.Checks, row.r.OpsPerSec)
 		fmt.Printf("%-9s admission latency p50=%.4fms p95=%.4fms p99=%.4fms over %.1fms\n",
 			"", row.r.AdmitP50MS, row.r.AdmitP95MS, row.r.AdmitP99MS, row.r.ElapsedMS)
+		if row.r.Shards > 1 {
+			fmt.Printf("%-9s shard sessions=%v load=%v\n", "", row.r.ShardSessions, row.r.ShardUtilization)
+		}
 	}
 	fmt.Println("\nall invariant checks passed; no capacity lost or double-spent")
 	fmt.Println("\nparallel-run metrics snapshot:")

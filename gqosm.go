@@ -147,6 +147,13 @@ type StackConfig struct {
 	// monitor (NRM checks, session expiry, optimizer passes) at that
 	// interval; Close stops it.
 	MonitorInterval time.Duration
+	// Shards splits the broker's capacity plan across that many
+	// independently locked allocators behind a least-loaded placement
+	// layer (default 1, the classic monolithic domain).
+	Shards int
+	// EventLogCap bounds the broker's in-memory activity log (default
+	// 8192 events; oldest evicted first).
+	EventLogCap int
 	// Obs receives metrics and lifecycle traces from every component;
 	// nil creates a private registry, reachable via Stack.Obs. Mount
 	// serves it on /metrics.
@@ -271,6 +278,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Repo:             repo,
 		ConfirmWindow:    cfg.ConfirmWindow,
 		MinOptimizerGain: cfg.MinOptimizerGain,
+		Shards:           cfg.Shards,
+		EventLogCap:      cfg.EventLogCap,
 		Obs:              cfg.Obs,
 	})
 	if err != nil {

@@ -448,6 +448,37 @@ func (a *Allocator) AvailableGuaranteed() resource.Capacity {
 	return a.gBoundLocked().Sub(a.gDemandLocked()).ClampMin(resource.Capacity{})
 }
 
+// AdmissionBound reports the ceiling for total guaranteed demand —
+// min(C_G, C_G_eff + C_A) per dimension (see gBoundLocked). A floor that
+// does not fit the bound can never be admitted, no matter how much
+// compensation frees: the placement layer uses this to skip hopeless
+// shards.
+func (a *Allocator) AdmissionBound() resource.Capacity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gBoundLocked()
+}
+
+/// LoadFactor reports how full the guaranteed partition is: the maximum
+// over dimensions of (guaranteed demand / admission bound), 0 for an idle
+// allocator and ≥ 1 when some dimension is saturated. The placement layer
+// ranks shards by it.
+func (a *Allocator) LoadFactor() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bound := a.gBoundLocked()
+	demand := a.gDemandLocked()
+	load := 0.0
+	for _, k := range resource.Kinds {
+		if bk := bound.Get(k); bk > resource.Epsilon {
+			if f := demand.Get(k) / bk; f > load {
+				load = f
+			}
+		}
+	}
+	return load
+}
+
 // AvailableBestEffort reports the headroom for new best-effort demand.
 func (a *Allocator) AvailableBestEffort() resource.Capacity {
 	a.mu.Lock()

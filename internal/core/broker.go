@@ -42,6 +42,11 @@ type Finder interface {
 	Find(q registry.Query) ([]*registry.Service, error)
 }
 
+// DefEventLogCap bounds the broker activity log when Config.EventLogCap
+// is unset: enough to hold the recent history of a busy domain while
+// keeping the ring's footprint fixed.
+const DefEventLogCap = 8192
+
 // Config assembles a Broker.
 type Config struct {
 	// Domain names the administrative domain the broker serves.
@@ -50,6 +55,11 @@ type Config struct {
 	Clock clockx.Clock
 	// Plan is the Algorithm-1 capacity partition (required).
 	Plan CapacityPlan
+	// Shards partitions the domain into that many independent
+	// plan/allocator/session shards (see shard.go); 0 or 1 keeps the
+	// classic single-shard broker. The plan is split evenly across
+	// shards.
+	Shards int
 	// Registry performs service discovery; nil skips discovery (the
 	// request's Service name is taken at face value).
 	Registry Finder
@@ -82,6 +92,10 @@ type Config struct {
 	// RangeSteps discretizes controlled-load ranges for the optimizer
 	// (default 4).
 	RangeSteps int
+	// EventLogCap bounds the activity log ring (default DefEventLogCap).
+	// When the ring is full the oldest events are evicted;
+	// Broker.EventsTotal reports how many were ever logged.
+	EventLogCap int
 	// Obs receives the broker's metrics and lifecycle traces. Nil
 	// creates a private registry, so instrumentation is always live and
 	// reachable through Broker.Obs().
@@ -127,16 +141,19 @@ type session struct {
 // support for parameter adaptation when a SLA violation is detected"
 // (§2.1). All methods are safe for concurrent use.
 //
-// Lock order: b.mu → alloc.mu → (clock, ledger, pool, NRM). b.mu is the
-// session-table lock; the allocator, the activity log (evMu) and the SLA
-// counter (nextID) each have their own synchronization so hot paths touch
-// b.mu only for session-state transitions. Components the broker calls
-// while holding b.mu (allocator, clock timer scheduling) never call back
-// into the broker; components that do call back (NRM degradation
-// callbacks, clock timer callbacks) always fire with no broker lock held.
+// The broker is a coordinator over one or more shards (see shard.go).
+// Per-session operations route through the shard that admitted the SLA
+// (sh.mu → sh.alloc.mu → leaf locks); the coordinator itself owns only
+// the global SLA counter (nextID), the routing table (routeMu), the
+// best-effort pin table (beMu), the activity log ring (evMu) and the
+// debug hook (debugMu) — all leaf locks, each with its own
+// synchronization, so hot paths on different shards never contend.
+// Components the broker calls while holding a shard lock (allocator,
+// clock timer scheduling) never call back into the broker; components
+// that do call back (NRM degradation callbacks, clock timer callbacks)
+// always fire with no broker lock held.
 type Broker struct {
 	cfg    Config
-	alloc  *Allocator
 	clock  clockx.Clock
 	prices *pricing.Model
 	ledger *pricing.Ledger
@@ -144,17 +161,30 @@ type Broker struct {
 	obs    *obs.Registry
 	met    brokerMetrics
 	nextID atomic.Int64
+	closed atomic.Bool
 
-	mu       sync.Mutex
-	closed   bool
-	sessions map[sla.ID]*session
-	// promotions holds open scenario-2(c) offers by SLA.
-	promotions map[sla.ID]pricing.PromotionOffer
+	// shards are the domain's Algorithm-1 partitions, indexed by shard.
+	shards []*shard
 
-	// evMu guards the activity log. It is a leaf lock: safe to take with
-	// or without b.mu held, never held while acquiring another lock.
-	evMu   sync.Mutex
-	events []Event
+	// routeMu guards route: SLA ID → admitting shard. Routes are
+	// installed at admission and never removed (terminal sessions stay
+	// queryable), so lookups are read-mostly.
+	routeMu sync.RWMutex
+	route   map[sla.ID]*shard
+
+	// beMu guards beRoute: best-effort client → shard holding its
+	// allocations. A client's best-effort capacity is pinned to one
+	// shard so repeated grants and the final release balance.
+	beMu    sync.Mutex
+	beRoute map[string]*shard
+
+	// evMu guards the activity log ring. It is a leaf lock: safe to take
+	// with or without a shard lock held, never held while acquiring
+	// another lock.
+	evMu    sync.Mutex
+	evBuf   []Event
+	evNext  int   // index the next event is written to
+	evTotal int64 // events ever logged, including evicted ones
 
 	// debugMu guards debugHook, the optional post-operation invariant
 	// check installed by SetDebugHook.
@@ -167,9 +197,11 @@ func NewBroker(cfg Config) (*Broker, error) {
 	if cfg.GARA == nil {
 		return nil, errors.New("core: Config.GARA is required")
 	}
-	alloc, err := NewAllocator(cfg.Plan)
-	if err != nil {
+	if err := cfg.Plan.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clockx.Real()
@@ -192,19 +224,34 @@ func NewBroker(cfg Config) (*Broker, error) {
 	if cfg.RangeSteps <= 0 {
 		cfg.RangeSteps = 4
 	}
+	if cfg.EventLogCap <= 0 {
+		cfg.EventLogCap = DefEventLogCap
+	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
 	b := &Broker{
-		cfg:        cfg,
-		alloc:      alloc,
-		clock:      cfg.Clock,
-		prices:     cfg.Prices,
-		ledger:     cfg.Ledger,
-		repo:       cfg.Repo,
-		sessions:   make(map[sla.ID]*session),
-		promotions: make(map[sla.ID]pricing.PromotionOffer),
-		obs:        cfg.Obs,
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		prices:  cfg.Prices,
+		ledger:  cfg.Ledger,
+		repo:    cfg.Repo,
+		route:   make(map[sla.ID]*shard),
+		beRoute: make(map[string]*shard),
+		evBuf:   make([]Event, 0, cfg.EventLogCap),
+		obs:     cfg.Obs,
+	}
+	for i, plan := range cfg.Plan.Split(cfg.Shards) {
+		alloc, err := NewAllocator(plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		b.shards = append(b.shards, &shard{
+			index:      i,
+			alloc:      alloc,
+			sessions:   make(map[sla.ID]*session),
+			promotions: make(map[sla.ID]pricing.PromotionOffer),
+		})
 	}
 	b.met = newBrokerMetrics(b.obs)
 	b.registerGauges(b.obs)
@@ -216,25 +263,28 @@ func NewBroker(cfg Config) (*Broker, error) {
 
 // Close cancels every pending confirmation timer and refuses further
 // requests. Established sessions and their reservations are left intact
-// (the broker does not own the resource managers' lifecycles).
+// (the broker does not own the resource managers' lifecycles). Shards are
+// swept in index order, one lock at a time.
 func (b *Broker) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
-	b.closed = true
-	for _, s := range b.sessions {
-		if s.confirm != nil {
-			s.confirm.Stop()
-			s.confirm = nil
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if s.confirm != nil {
+				s.confirm.Stop()
+				s.confirm = nil
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
-// Allocator exposes the Algorithm-1 engine (read-mostly: experiments
-// snapshot pool usage through it).
-func (b *Broker) Allocator() *Allocator { return b.alloc }
+// Allocator exposes the Algorithm-1 engine of shard 0 (read-mostly:
+// experiments snapshot pool usage through it). Single-shard brokers — the
+// default — have exactly one; multi-shard callers use Allocators.
+func (b *Broker) Allocator() *Allocator { return b.shards[0].alloc }
 
 // Ledger exposes the accounting ledger.
 func (b *Broker) Ledger() *pricing.Ledger { return b.ledger }
@@ -242,11 +292,26 @@ func (b *Broker) Ledger() *pricing.Ledger { return b.ledger }
 // Repo exposes the SLA repository.
 func (b *Broker) Repo() sla.Repository { return b.repo }
 
-// Events returns a copy of the activity log.
+// Events returns the retained activity log, oldest first. The log is a
+// bounded ring (Config.EventLogCap): under sustained load the oldest
+// entries are evicted; EventsTotal reports how many were ever logged.
 func (b *Broker) Events() []Event {
 	b.evMu.Lock()
 	defer b.evMu.Unlock()
-	return append([]Event(nil), b.events...)
+	out := make([]Event, 0, len(b.evBuf))
+	if len(b.evBuf) < cap(b.evBuf) {
+		return append(out, b.evBuf...)
+	}
+	out = append(out, b.evBuf[b.evNext:]...)
+	return append(out, b.evBuf[:b.evNext]...)
+}
+
+// EventsTotal returns how many activity-log events were ever logged,
+// including those evicted from the ring.
+func (b *Broker) EventsTotal() int64 {
+	b.evMu.Lock()
+	defer b.evMu.Unlock()
+	return b.evTotal
 }
 
 // SetDebugHook installs fn to run after every mutating broker operation
@@ -290,9 +355,13 @@ func (b *Broker) DebugViolations() []Event {
 
 // Session returns a copy of the SLA document for the given session.
 func (b *Broker) Session(id sla.ID) (*sla.Document, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
@@ -300,30 +369,40 @@ func (b *Broker) Session(id sla.ID) (*sla.Document, error) {
 }
 
 // Sessions returns copies of all session documents matching the filter
-// (nil matches all), ordered by ID.
+// (nil matches all), ordered by ID. Shards are visited in index order,
+// one lock at a time.
 func (b *Broker) Sessions(filter func(*sla.Document) bool) []*sla.Document {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]*sla.Document, 0, len(b.sessions))
-	for _, s := range b.sessions {
-		if filter == nil || filter(s.doc) {
-			out = append(out, s.doc.Clone())
+	var out []*sla.Document
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if filter == nil || filter(s.doc) {
+				out = append(out, s.doc.Clone())
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// logf appends to the activity log. The log has its own leaf mutex, so
-// this is safe with or without b.mu held.
+// logf appends to the activity log ring, evicting the oldest entry when
+// full. The log has its own leaf mutex, so this is safe with or without a
+// shard lock held.
 func (b *Broker) logf(kind string, id sla.ID, format string, args ...any) {
 	e := Event{At: b.clock.Now(), Kind: kind, SLA: id, Msg: fmt.Sprintf(format, args...)}
 	b.evMu.Lock()
-	b.events = append(b.events, e)
+	if len(b.evBuf) < cap(b.evBuf) {
+		b.evBuf = append(b.evBuf, e)
+	} else {
+		b.evBuf[b.evNext] = e
+	}
+	b.evNext = (b.evNext + 1) % cap(b.evBuf)
+	b.evTotal++
 	b.evMu.Unlock()
 }
 
-// logLocked appends to the activity log from inside a b.mu critical
+// logLocked appends to the activity log from inside a shard critical
 // section (same leaf lock as logf; the name records the calling context).
 func (b *Broker) logLocked(kind string, id sla.ID, format string, args ...any) {
 	b.logf(kind, id, format, args...)

@@ -36,6 +36,9 @@ func (b *Broker) PeerDomain() string { return b.cfg.Domain }
 // PeerRequest implements Peer for the local broker.
 func (b *Broker) PeerRequest(req Request) (*Offer, error) { return b.RequestService(req) }
 
+// PeerReject implements peerRejecter for the local broker.
+func (b *Broker) PeerReject(id sla.ID) error { return b.Reject(id) }
+
 var _ Peer = (*Broker)(nil)
 
 // ErrNoDomainCanServe is returned when the local broker and every
@@ -108,18 +111,63 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 	peers := append([]Peer(nil), f.peers...)
 	f.mu.Unlock()
 
+	// Fan the request out to every neighbor at once; one slow or
+	// unreachable peer no longer serializes the rest. The scan below walks
+	// results in registration order, so the winning domain is the same one
+	// the old sequential loop would have picked.
+	results := make([]chan peerResult, len(peers))
+	for i, p := range peers {
+		ch := make(chan peerResult, 1)
+		results[i] = ch
+		go func(p Peer, ch chan<- peerResult) {
+			offer, err := p.PeerRequest(req)
+			ch <- peerResult{offer: offer, err: err}
+		}(p, ch)
+	}
 	var attempts []string
-	for _, p := range peers {
-		offer, err := p.PeerRequest(req)
-		if err == nil {
-			f.home.logf("federation", "", "request for %q forwarded to neighbor %q", req.Service, p.PeerDomain())
-			return &FederatedOffer{Offer: *offer, Domain: p.PeerDomain(), Forwarded: true}, nil
+	for i, p := range peers {
+		r := <-results[i]
+		if r.err != nil {
+			attempts = append(attempts, fmt.Sprintf("%s: %v", p.PeerDomain(), r.err))
+			continue
 		}
-		attempts = append(attempts, fmt.Sprintf("%s: %v", p.PeerDomain(), err))
+		// Peers past the winner are still in flight; retract whatever they
+		// offer so losing domains do not sit on temporary reservations
+		// until their confirm windows lapse.
+		go retractLosers(peers[i+1:], results[i+1:])
+		f.home.logf("federation", "", "request for %q forwarded to neighbor %q", req.Service, p.PeerDomain())
+		return &FederatedOffer{Offer: *r.offer, Domain: p.PeerDomain(), Forwarded: true}, nil
 	}
 	sort.Strings(attempts)
 	return nil, fmt.Errorf("%w: home %q: %v; neighbors: %v",
 		ErrNoDomainCanServe, f.home.cfg.Domain, homeErr, attempts)
+}
+
+// peerResult is one neighbor's answer to a fanned-out request.
+type peerResult struct {
+	offer *Offer
+	err   error
+}
+
+// peerRejecter is the optional retraction half of Peer: a peer that can
+// reject a proposed SLA lets the federation clean up offers that lost the
+// registration-order race. Both *Broker and *PeerClient implement it.
+type peerRejecter interface {
+	PeerReject(id sla.ID) error
+}
+
+// retractLosers drains the still-pending results of peers that lost to an
+// earlier-registered winner and rejects any offer they produced.
+func retractLosers(peers []Peer, results []chan peerResult) {
+	for i, p := range peers {
+		r := <-results[i]
+		if r.err != nil || r.offer == nil {
+			continue
+		}
+		if rej, ok := p.(peerRejecter); ok {
+			_ = rej.PeerReject(r.offer.SLA.ID)
+		}
+	}
 }
 
 // isCapacityError reports whether err stems from resource shortage (which
@@ -187,4 +235,14 @@ func (p *PeerClient) PeerRequest(req Request) (*Offer, error) {
 	return offer, nil
 }
 
+// PeerReject implements peerRejecter: a losing concurrent offer is
+// rejected on the remote broker so its temporary reservation is freed
+// immediately instead of lapsing with the confirm window.
+func (p *PeerClient) PeerReject(id sla.ID) error {
+	_, err := p.Client.Act(id, "reject", "lost federation race")
+	return err
+}
+
 var _ Peer = (*PeerClient)(nil)
+var _ peerRejecter = (*PeerClient)(nil)
+var _ peerRejecter = (*Broker)(nil)

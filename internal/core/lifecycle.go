@@ -21,20 +21,24 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 	if b.cfg.GRAM == nil {
 		return gram.Job{}, fmt.Errorf("core: no GRAM configured")
 	}
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return gram.Job{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return gram.Job{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State != sla.StateEstablished {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return gram.Job{}, fmt.Errorf("%w: %s is %s, want established", ErrBadState, id, s.doc.State)
 	}
 	service := s.doc.Service
 	end := s.doc.End
 	handle := s.handle
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	duration := end.Sub(b.clock.Now()).Seconds()
 	jobRSL := fmt.Sprintf(`&(executable=%q)(duration=%s)(label=%q)`,
@@ -48,18 +52,18 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 		return gram.Job{}, fmt.Errorf("core: bind %s: %w", id, err)
 	}
 
-	b.mu.Lock()
+	sh.mu.Lock()
 	if err := s.doc.Transition(sla.StateActive); err != nil {
 		// A concurrent Terminate/Expire won the race after the job was
 		// submitted; don't leave it running against a canceled
 		// reservation.
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		_ = b.cfg.GRAM.Cancel(job.ID)
 		return gram.Job{}, err
 	}
 	s.job = job.ID
 	b.logLocked("invoke", id, "service %q launched as %s (pid %d), reservation claimed", service, job.ID, job.PID)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.trace(id, sla.StateEstablished, sla.StateActive, resource.Capacity{}, "service invoked")
 	b.persist(id)
 	return job, nil
@@ -70,14 +74,18 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 // survivors.
 func (b *Broker) Terminate(id sla.ID, reason string) error {
 	defer b.debugCheck("terminate")
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State.Terminal() {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s already %s", ErrBadState, id, s.doc.State)
 	}
 	if s.confirm != nil {
@@ -85,7 +93,7 @@ func (b *Broker) Terminate(id sla.ID, reason string) error {
 		s.confirm = nil
 	}
 	job := s.job
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	if job != "" && b.cfg.GRAM != nil {
 		if j, err := b.cfg.GRAM.Job(job); err == nil && !j.State.Terminal() {
@@ -107,8 +115,12 @@ func (b *Broker) Terminate(id sla.ID, reason string) error {
 // compensation: like Terminate, but without the scenario-2 release hook
 // (which would re-absorb the capacity being freed).
 func (b *Broker) terminateForCompensation(id sla.ID) error {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	var job gram.JobID
 	if ok {
 		if s.confirm != nil {
@@ -117,7 +129,7 @@ func (b *Broker) terminateForCompensation(id sla.ID) error {
 		}
 		job = s.job
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
@@ -158,24 +170,28 @@ func (b *Broker) teardown(id sla.ID, final sla.State, reason string) error {
 // down after another goroutine has already moved it on.
 func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func(*session) bool) error {
 	started := time.Now()
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State.Terminal() {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s already %s", ErrBadState, id, s.doc.State)
 	}
 	if pred != nil && !pred(s) {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
 	}
 	prevState := s.doc.State
 	released := s.doc.Allocated
 	if err := s.doc.Transition(final); err != nil {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return err
 	}
 	if s.confirm != nil {
@@ -183,15 +199,16 @@ func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func
 		s.confirm = nil
 	}
 	handle := s.handle
-	delete(b.promotions, id)
+	delete(sh.promotions, id)
 	b.logLocked("clearing", id, "%s: %s", final, reason)
-	// Release the grant while still holding b.mu: the terminal transition
-	// and the release must be atomic, or a concurrent re-grant path
-	// (restore, optimizer, promotion) could slip between them and leave a
-	// terminal session holding capacity. Lock order b.mu → alloc.mu is
-	// safe — the allocator never calls back into the broker.
-	_ = b.alloc.ReleaseGuaranteed(string(id))
-	b.mu.Unlock()
+	// Release the grant while still holding sh.mu: the terminal
+	// transition and the release must be atomic, or a concurrent re-grant
+	// path (restore, optimizer, promotion) could slip between them and
+	// leave a terminal session holding capacity. Lock order sh.mu →
+	// sh.alloc.mu is safe — the allocator never calls back into the
+	// broker.
+	_ = sh.alloc.ReleaseGuaranteed(string(id))
+	sh.mu.Unlock()
 
 	if err := b.cfg.GARA.Cancel(handle); err != nil {
 		b.logf("clearing", id, "reservation cancel: %v", err)
@@ -204,17 +221,22 @@ func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func
 
 // allocateLive re-grants allocator capacity for a session only while it is
 // still live, atomically with respect to teardown: the liveness check and
-// the allocator call happen under b.mu, so a concurrent terminal
-// transition (which releases the grant under the same lock) can never
-// interleave and leave a terminal session holding capacity.
+// the allocator call happen under the session's shard lock, so a
+// concurrent terminal transition (which releases the grant under the same
+// lock) can never interleave and leave a terminal session holding
+// capacity.
 func (b *Broker) allocateLive(id sla.ID, requested, floor resource.Capacity) (GrantResult, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return GrantResult{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	if !ok || s.doc.State.Terminal() {
 		return GrantResult{}, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
-	return b.alloc.AllocateGuaranteed(string(id), requested, floor)
+	return sh.alloc.AllocateGuaranteed(string(id), requested, floor)
 }
 
 // afterRelease applies scenario 2 to the released capacity: (a) restore
@@ -223,16 +245,20 @@ func (b *Broker) allocateLive(id sla.ID, requested, floor resource.Capacity) (Gr
 // services.
 func (b *Broker) afterRelease() {
 	// (a) Restore degraded sessions to their pre-degradation quality,
-	// oldest SLA first.
-	b.mu.Lock()
+	// oldest SLA first across the whole domain. Shards are visited in
+	// index order, one lock at a time; the restore pass itself runs
+	// lock-free on the collected IDs.
 	var degraded []sla.ID
-	for id, s := range b.sessions {
-		if s.degraded && !s.doc.State.Terminal() {
-			degraded = append(degraded, id)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.degraded && !s.doc.State.Terminal() {
+				degraded = append(degraded, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(degraded, func(i, j int) bool { return degraded[i] < degraded[j] })
-	b.mu.Unlock()
 	for _, id := range degraded {
 		_ = b.restore(id)
 	}
@@ -249,10 +275,14 @@ func (b *Broker) afterRelease() {
 // restore returns a degraded session to its original quality when
 // capacity allows (scenario 2a and scenario-3 recovery).
 func (b *Broker) restore(id sla.ID) error {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: degraded %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok || !s.degraded {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: degraded %s", ErrUnknownSession, id)
 	}
 	target := s.original
@@ -261,7 +291,7 @@ func (b *Broker) restore(id sla.ID) error {
 	floor := s.doc.Spec.Floor()
 	handle := s.handle
 	spec := s.doc.Spec.Clone()
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	grant, err := b.allocateLive(id, target, floor)
 	if err != nil || !grant.Shortfall.IsZero() {
@@ -275,14 +305,14 @@ func (b *Broker) restore(id sla.ID) error {
 	if err := b.applyAllocation(id, handle, spec, target, true); err != nil {
 		return err
 	}
-	b.mu.Lock()
+	sh.mu.Lock()
 	s.degraded = false
 	if s.doc.State == sla.StateDegraded {
 		_ = s.doc.Transition(sla.StateActive)
 	}
 	newState := s.doc.State
 	b.logLocked("adapt", id, "restored to %v (scenario 2a)", target)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.met.restored.Inc()
 	b.trace(id, prevState, newState, target.Sub(prevAlloc), "restored (scenario 2a)")
 	b.persist(id)
@@ -300,17 +330,19 @@ func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c
 		return fmt.Errorf("core: apply allocation %s: %w", id, err)
 	}
 	var delta float64
-	b.mu.Lock()
-	// A session torn down since the grant was issued keeps its final
-	// document: no billing, no allocation rewrite.
-	if s, ok := b.sessions[id]; ok && !s.doc.State.Terminal() {
-		if bill {
-			delta = b.prices.Cost(s.doc.Class, c) - b.prices.Cost(s.doc.Class, s.doc.Allocated)
-			s.doc.Price += delta
+	if sh := b.shardFor(id); sh != nil {
+		sh.mu.Lock()
+		// A session torn down since the grant was issued keeps its final
+		// document: no billing, no allocation rewrite.
+		if s, ok := sh.sessions[id]; ok && !s.doc.State.Terminal() {
+			if bill {
+				delta = b.prices.Cost(s.doc.Class, c) - b.prices.Cost(s.doc.Class, s.doc.Allocated)
+				s.doc.Price += delta
+			}
+			s.doc.Allocated = c
 		}
-		s.doc.Allocated = c
+		sh.mu.Unlock()
 	}
-	b.mu.Unlock()
 	switch {
 	case delta > 0:
 		b.ledger.Charge(id, delta, b.clock.Now(), "quality upgrade")
@@ -326,59 +358,64 @@ func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c
 
 // issuePromotions creates scenario-2(c) promotion offers for active
 // controlled-load sessions that opted in and run below their best quality.
+// Each shard's candidates are offered against that shard's own headroom.
 func (b *Broker) issuePromotions() {
-	b.mu.Lock()
 	type cand struct {
 		id   sla.ID
 		doc  *sla.Document
 		best resource.Capacity
 	}
-	var cands []cand
-	for id, s := range b.sessions {
-		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
-			continue
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		var cands []cand
+		for id, s := range sh.sessions {
+			if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
+				continue
+			}
+			if !s.doc.Adapt.PromotionOffers {
+				continue
+			}
+			if _, open := sh.promotions[id]; open {
+				continue
+			}
+			best := s.doc.Spec.Best()
+			if best.Sub(s.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
+				continue
+			}
+			cands = append(cands, cand{id: id, doc: s.doc.Clone(), best: best})
 		}
-		if !s.doc.Adapt.PromotionOffers {
-			continue
-		}
-		if _, open := b.promotions[id]; open {
-			continue
-		}
-		best := s.doc.Spec.Best()
-		if best.Sub(s.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
-			continue
-		}
-		cands = append(cands, cand{id: id, doc: s.doc.Clone(), best: best})
-	}
-	b.mu.Unlock()
-	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+		sh.mu.Unlock()
+		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
 
-	for _, c := range cands {
-		// Offer only what currently fits.
-		headroom := b.alloc.AvailableGuaranteed()
-		target := c.doc.Spec.Clamp(c.doc.Allocated.Add(headroom).Min(c.best))
-		if target.Sub(c.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
-			continue
+		for _, c := range cands {
+			// Offer only what currently fits on the session's shard.
+			headroom := sh.alloc.AvailableGuaranteed()
+			target := c.doc.Spec.Clamp(c.doc.Allocated.Add(headroom).Min(c.best))
+			if target.Sub(c.doc.Allocated).ClampMin(resource.Capacity{}).IsZero() {
+				continue
+			}
+			offer, ok := b.prices.Promotion(c.doc, target, b.clock.Now().Add(b.cfg.ConfirmWindow))
+			if !ok {
+				continue
+			}
+			sh.mu.Lock()
+			sh.promotions[c.id] = offer
+			b.logLocked("promotion", c.id, "offered upgrade %v -> %v at %.2f (list %.2f)",
+				offer.From, offer.To, offer.OfferPrice, offer.ListPrice)
+			sh.mu.Unlock()
 		}
-		offer, ok := b.prices.Promotion(c.doc, target, b.clock.Now().Add(b.cfg.ConfirmWindow))
-		if !ok {
-			continue
-		}
-		b.mu.Lock()
-		b.promotions[c.id] = offer
-		b.logLocked("promotion", c.id, "offered upgrade %v -> %v at %.2f (list %.2f)",
-			offer.From, offer.To, offer.OfferPrice, offer.ListPrice)
-		b.mu.Unlock()
 	}
 }
 
 // Promotions returns the open promotion offers, ordered by SLA ID.
 func (b *Broker) Promotions() []pricing.PromotionOffer {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]pricing.PromotionOffer, 0, len(b.promotions))
-	for _, o := range b.promotions {
-		out = append(out, o)
+	var out []pricing.PromotionOffer
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, o := range sh.promotions {
+			out = append(out, o)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SLA < out[j].SLA })
 	return out
@@ -388,28 +425,32 @@ func (b *Broker) Promotions() []pricing.PromotionOffer {
 // and the discounted increment charged.
 func (b *Broker) AcceptPromotion(id sla.ID) error {
 	defer b.debugCheck("promotion")
-	b.mu.Lock()
-	offer, ok := b.promotions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: no open promotion for %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	offer, ok := sh.promotions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: no open promotion for %s", ErrUnknownSession, id)
 	}
 	if b.clock.Now().After(offer.Expires) {
-		delete(b.promotions, id)
-		b.mu.Unlock()
+		delete(sh.promotions, id)
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: promotion for %s expired", ErrBadState, id)
 	}
-	s, ok := b.sessions[id]
+	s, ok := sh.sessions[id]
 	if !ok || s.doc.State.Terminal() {
-		delete(b.promotions, id)
-		b.mu.Unlock()
+		delete(sh.promotions, id)
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	floor := s.doc.Spec.Floor()
 	handle := s.handle
 	spec := s.doc.Spec.Clone()
-	delete(b.promotions, id)
-	b.mu.Unlock()
+	delete(sh.promotions, id)
+	sh.mu.Unlock()
 
 	grant, err := b.allocateLive(id, offer.To, floor)
 	if err != nil {
@@ -424,12 +465,12 @@ func (b *Broker) AcceptPromotion(id sla.ID) error {
 	if err := b.applyAllocation(id, handle, spec, offer.To, false); err != nil {
 		return err
 	}
-	b.mu.Lock()
+	sh.mu.Lock()
 	s.original = offer.To
 	s.doc.Price += offer.OfferPrice
 	state := s.doc.State
 	b.logLocked("promotion", id, "accepted: upgraded to %v for %.2f", offer.To, offer.OfferPrice)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.met.promoted.Inc()
 	b.trace(id, state, state, offer.To.Sub(offer.From), "promotion accepted (scenario 2c)")
 	b.ledger.Record(pricing.Entry{
@@ -459,18 +500,45 @@ type OptimizeOutcome struct {
 // sessions: "the optimization heuristic is executed periodically by the
 // AQoS broker; if there is a considerable gain in terms of benefits to the
 // Grid Service provider, resources allocation is accordingly modified."
+// Each shard's sessions form an independent optimization problem over that
+// shard's capacity; the outcome aggregates all shards (for the default
+// single-shard broker this is exactly the classic whole-domain pass).
 func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 	defer b.debugCheck("optimize")
 	b.met.optimizerRuns.Inc()
-	b.mu.Lock()
+	var out OptimizeOutcome
+	for _, sh := range b.shards {
+		shardOut, err := b.optimizeShard(sh)
+		if err != nil {
+			return out, err
+		}
+		out.Considered += shardOut.Considered
+		out.Gain += shardOut.Gain
+		out.Changed += shardOut.Changed
+	}
+	out.Applied = out.Changed > 0
+	if out.Applied {
+		b.met.optimizerApplied.Inc()
+		b.logf("optimize", "", "reallocated %d/%d controlled-load sessions, profit gain %.2f",
+			out.Changed, out.Considered, out.Gain)
+	}
+	return out, nil
+}
+
+// optimizeShard runs one shard's §5.3 problem: its live controlled-load
+// sessions compete for what they hold plus the shard's headroom. The gain
+// threshold applies per shard — each shard's reallocation must clear
+// MinOptimizerGain on its own.
+func (b *Broker) optimizeShard(sh *shard) (OptimizeOutcome, error) {
 	type entry struct {
 		id     sla.ID
 		spec   sla.Spec
 		alloc  resource.Capacity
 		handle gara.Handle
 	}
+	sh.mu.Lock()
 	var entries []entry
-	for id, s := range b.sessions {
+	for id, s := range sh.sessions {
 		if s.doc.Class != sla.ClassControlledLoad {
 			continue
 		}
@@ -482,7 +550,7 @@ func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 		}
 		entries = append(entries, entry{id: id, spec: s.doc.Spec.Clone(), alloc: s.doc.Allocated, handle: s.handle})
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 
 	out := OptimizeOutcome{Considered: len(entries)}
@@ -491,8 +559,8 @@ func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 	}
 
 	// Capacity available to these sessions: what they hold now plus the
-	// guaranteed-side headroom.
-	capacity := b.alloc.AvailableGuaranteed()
+	// shard's guaranteed-side headroom.
+	capacity := sh.alloc.AvailableGuaranteed()
 	currentProfit := 0.0
 	problem := OptProblem{}
 	for _, e := range entries {
@@ -526,31 +594,30 @@ func (b *Broker) RunOptimizer() (OptimizeOutcome, error) {
 		if err := b.applyAllocation(e.id, e.handle, e.spec, target, true); err != nil {
 			continue
 		}
-		b.mu.Lock()
-		if s, ok := b.sessions[e.id]; ok {
+		sh.mu.Lock()
+		if s, ok := sh.sessions[e.id]; ok {
 			s.original = target
 		}
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		out.Changed++
 	}
 	out.Applied = out.Changed > 0
-	if out.Applied {
-		b.met.optimizerApplied.Inc()
-		b.logf("optimize", "", "reallocated %d/%d controlled-load sessions, profit gain %.2f",
-			out.Changed, out.Considered, out.Gain)
-	}
 	return out, nil
 }
 
 // persist writes the session's document to the repository.
 func (b *Broker) persist(id sla.ID) {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	var doc *sla.Document
 	if ok {
 		doc = s.doc.Clone()
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if doc == nil {
 		return
 	}

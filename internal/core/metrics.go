@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
@@ -76,9 +78,11 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 }
 
 // registerGauges mounts the scrape-time callback gauges: per-partition
-// utilization straight off the Algorithm-1 allocator, and session
-// counts by SLA state. Callbacks take alloc.mu / b.mu only at scrape
-// time, so the hot path pays nothing.
+// utilization straight off the Algorithm-1 allocators (summed across
+// shards, so the domain-level series is shard-count independent),
+// per-shard load for placement visibility, and session counts by SLA
+// state. Callbacks take alloc.mu / sh.mu only at scrape time, so the
+// hot path pays nothing.
 func (b *Broker) registerGauges(reg *obs.Registry) {
 	for poolIdx, pool := range []string{"guaranteed", "adaptive", "besteffort"} {
 		for _, kind := range resource.Kinds {
@@ -86,14 +90,30 @@ func (b *Broker) registerGauges(reg *obs.Registry) {
 			reg.GaugeFunc("gqosm_partition_utilization",
 				"Used fraction of each partition pool per resource dimension",
 				func() float64 {
-					u := b.alloc.Snapshot()[poolIdx]
-					total := u.Capacity.Get(kind) - u.Offline.Get(kind)
+					var used, total float64
+					for _, sh := range b.shards {
+						u := sh.alloc.Snapshot()[poolIdx]
+						total += u.Capacity.Get(kind) - u.Offline.Get(kind)
+						used += u.Guaranteed.Get(kind) + u.BestEffort.Get(kind)
+					}
 					if total <= resource.Epsilon {
 						return 0
 					}
-					return (u.Guaranteed.Get(kind) + u.BestEffort.Get(kind)) / total
+					return used / total
 				},
 				"pool", pool, "dim", kind.String())
+		}
+	}
+	for _, sh := range b.shards {
+		for _, kind := range resource.Kinds {
+			sh, kind := sh, kind
+			reg.GaugeFunc("gqosm_shard_utilization",
+				"Guaranteed-pool demand fraction per shard and resource dimension",
+				func() float64 {
+					u := sh.alloc.Utilization()
+					return u.Get(kind)
+				},
+				"shard", shardLabel(sh.index), "dim", kind.String())
 		}
 	}
 	for _, state := range []sla.State{
@@ -105,18 +125,25 @@ func (b *Broker) registerGauges(reg *obs.Registry) {
 		reg.GaugeFunc("gqosm_broker_sessions",
 			"Broker sessions by SLA state",
 			func() float64 {
-				b.mu.Lock()
-				defer b.mu.Unlock()
 				n := 0
-				for _, s := range b.sessions {
-					if s.doc.State == state {
-						n++
+				for _, sh := range b.shards {
+					sh.mu.Lock()
+					for _, s := range sh.sessions {
+						if s.doc.State == state {
+							n++
+						}
 					}
+					sh.mu.Unlock()
 				}
 				return float64(n)
 			},
 			"state", state.String())
 	}
+}
+
+// shardLabel renders a shard index as a metric label value.
+func shardLabel(i int) string {
+	return strconv.Itoa(i)
 }
 
 // trace records one structured lifecycle event in the obs ring. delta

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -35,6 +36,11 @@ type Request struct {
 	// violation penalties" among the agreed terms); zero means no
 	// penalty clause.
 	Penalty sla.Penalty
+	// ShardHint pins placement to a shard (1-based index; 0 lets the
+	// placement layer pick the least-loaded shard). The fallback chain
+	// across the remaining shards still applies on capacity errors.
+	// Ignored by single-shard brokers.
+	ShardHint int
 }
 
 // Validate checks the request.
@@ -99,12 +105,9 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
-	b.mu.Unlock()
 	b.logf("discovery", "", "client %q requests %q class=%s spec floor %v",
 		req.Client, req.Service, req.Class, req.Spec.Floor())
 
@@ -113,15 +116,54 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 		return nil, err
 	}
 
+	// Placement: try shards least-loaded first (honoring any hint) and
+	// fall back across them on capacity refusals — the intra-domain
+	// mirror of the federation's capacity-error forwarding. The SLA ID is
+	// issued lazily by the first attempt that needs one, so ID sequences
+	// match the single-shard broker exactly (budget refusals never burn
+	// an ID).
+	var id sla.ID
+	ensureID := func() sla.ID {
+		if id == "" {
+			id = b.newSLAID()
+		}
+		return id
+	}
+	order := b.placementOrder(req.ShardHint, req.Spec.Floor())
+	var lastErr error
+	for _, sh := range order {
+		offer, err := b.requestOnShard(sh, req, key, ensureID)
+		if err == nil {
+			return offer, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrCannotHonor) {
+			// Non-capacity refusals (budget, reservation, shutdown) are
+			// final: no other shard would decide differently.
+			return nil, err
+		}
+	}
+	if len(b.shards) == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("core: %d shard(s) tried, none can honor: %w", len(order), lastErr)
+}
+
+// requestOnShard runs the negotiation phase against one shard: quality
+// clamp against the shard's headroom, budget check, Algorithm-1 admission
+// with scenario-1 compensation on the shard's own sessions, GARA
+// reservation, and session registration under the shard lock. ensureID
+// issues the global SLA ID on first use.
+func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensureID func() sla.ID) (*Offer, error) {
 	// Choose the proposed quality: guaranteed gets the exact request;
 	// controlled-load gets the best level currently free, never below
 	// the floor.
 	quality := req.Spec.Best()
 	if req.Class == sla.ClassControlledLoad {
-		// Offer the best level the current headroom carries; Clamp
+		// Offer the best level the shard's headroom carries; Clamp
 		// raises below-floor dimensions back to the floor, in which case
 		// admission relies on scenario-1 compensation below.
-		quality = req.Spec.Clamp(quality.Min(b.alloc.AvailableGuaranteed()))
+		quality = req.Spec.Clamp(quality.Min(sh.alloc.AvailableGuaranteed()))
 		quality = quality.Max(req.Spec.Floor())
 	}
 
@@ -139,20 +181,20 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 		}
 	}
 
-	id := b.newSLAID()
+	id := ensureID()
 	floor := req.Spec.Floor()
 
 	// Capacity admission via Algorithm 1, with scenario-1 compensation
 	// on failure.
 	compensated := false
-	grant, err := b.alloc.AllocateGuaranteed(string(id), quality, floor)
+	grant, err := sh.alloc.AllocateGuaranteed(string(id), quality, floor)
 	if err != nil {
-		freed, cerr := b.compensate(floor)
+		freed, cerr := b.compensate(sh, floor)
 		if cerr != nil {
 			return nil, fmt.Errorf("request %s: %w (compensation: %v)", id, err, cerr)
 		}
 		compensated = freed
-		grant, err = b.alloc.AllocateGuaranteed(string(id), quality, floor)
+		grant, err = sh.alloc.AllocateGuaranteed(string(id), quality, floor)
 		if err != nil {
 			return nil, fmt.Errorf("request %s after compensation: %w", id, err)
 		}
@@ -168,7 +210,7 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	spec := reservationRSL(req.Spec, allocated, string(id))
 	handle, err := b.cfg.GARA.Create(spec, req.Start, req.End, string(id))
 	if err != nil {
-		_ = b.alloc.ReleaseGuaranteed(string(id))
+		_ = sh.alloc.ReleaseGuaranteed(string(id))
 		return nil, fmt.Errorf("core: reservation: %w", err)
 	}
 
@@ -196,22 +238,31 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	expires := b.clock.Now().Add(b.cfg.ConfirmWindow)
 	sess := &session{doc: doc, handle: handle, original: allocated}
 
-	b.mu.Lock()
-	if b.closed {
+	// Install the route before the session: the confirm timer's expiry
+	// callback resolves the shard through it.
+	b.routeMu.Lock()
+	b.route[id] = sh
+	b.routeMu.Unlock()
+
+	sh.mu.Lock()
+	if b.closed.Load() {
 		// The broker shut down while this request was negotiating; undo
 		// the reservation rather than leak it into a closed broker.
-		b.mu.Unlock()
-		_ = b.alloc.ReleaseGuaranteed(string(id))
+		sh.mu.Unlock()
+		b.routeMu.Lock()
+		delete(b.route, id)
+		b.routeMu.Unlock()
+		_ = sh.alloc.ReleaseGuaranteed(string(id))
 		_ = b.cfg.GARA.Cancel(handle)
 		return nil, ErrClosed
 	}
-	b.sessions[id] = sess
+	sh.sessions[id] = sess
 	// Schedule the auto-cancel only after the session is registered: the
 	// clock may fire the callback the instant it is armed (a concurrent
 	// Advance past the window), and an expiry that finds no session would
 	// silently leave the offer un-expirable. Timer scheduling never fires
 	// callbacks synchronously under the clock's lock, so arming it under
-	// b.mu cannot deadlock.
+	// sh.mu cannot deadlock.
 	sess.confirm = b.clock.AfterFunc(b.cfg.ConfirmWindow, func() {
 		b.expireOffer(id)
 	})
@@ -221,7 +272,7 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	// confirm timer is armed, a concurrent clock advance can expire the
 	// offer and mutate doc at any moment.
 	offered := doc.Clone()
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	return &Offer{
 		SLA:         offered,
@@ -275,28 +326,32 @@ func (b *Broker) discover(req Request) (registry.Key, error) {
 // willingness to accept a degraded QoS and/or termination of service."
 // It degrades willing active sessions to their floors, then (if still
 // needed) terminates willing-to-terminate sessions, cheapest first. It
-// reports whether anything was freed.
-func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
-	b.mu.Lock()
+// reports whether anything was freed. Compensation is shard-local: only
+// sessions admitted on sh can return capacity to sh's partition.
+func (b *Broker) compensate(sh *shard, needed resource.Capacity) (bool, error) {
+	sh.mu.Lock()
+	// Snapshot everything the sort below reads while sh.mu is held: the
+	// documents stay owned by the shard and may be mutated (price, state)
+	// by concurrent lifecycle calls once the lock is released.
 	type target struct {
 		id        sla.ID
-		doc       *sla.Document
+		price     float64
 		recovered resource.Capacity
 	}
 	var degradable, terminable []target
-	for id, s := range b.sessions {
+	for id, s := range sh.sessions {
 		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
 			continue
 		}
 		floor := s.doc.Spec.Floor()
 		if s.doc.Adapt.AcceptDegradation && !s.doc.Allocated.Sub(floor).ClampMin(resource.Capacity{}).IsZero() {
-			degradable = append(degradable, target{id: id, doc: s.doc, recovered: s.doc.Allocated.Sub(floor)})
+			degradable = append(degradable, target{id: id, price: s.doc.Price, recovered: s.doc.Allocated.Sub(floor)})
 		}
 		if s.doc.Adapt.AcceptTermination {
-			terminable = append(terminable, target{id: id, doc: s.doc, recovered: s.doc.Allocated})
+			terminable = append(terminable, target{id: id, price: s.doc.Price, recovered: s.doc.Allocated})
 		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	if len(degradable) == 0 && len(terminable) == 0 {
 		return false, fmt.Errorf("core: no active SLA accepts degradation or termination")
@@ -306,8 +361,8 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 	// impact; deterministic order by (price, id).
 	sortTargets := func(ts []target) {
 		sort.Slice(ts, func(i, j int) bool {
-			if ts[i].doc.Price != ts[j].doc.Price {
-				return ts[i].doc.Price < ts[j].doc.Price
+			if ts[i].price != ts[j].price {
+				return ts[i].price < ts[j].price
 			}
 			return ts[i].id < ts[j].id
 		})
@@ -317,7 +372,7 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 
 	freed := false
 	for _, t := range degradable {
-		if needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+		if needed.FitsIn(sh.alloc.AvailableGuaranteed()) {
 			break
 		}
 		if err := b.degradeToFloor(t.id); err == nil {
@@ -325,7 +380,7 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 		}
 	}
 	for _, t := range terminable {
-		if needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+		if needed.FitsIn(sh.alloc.AvailableGuaranteed()) {
 			break
 		}
 		// Tear down without the scenario-2 hook: running it here would
@@ -338,7 +393,7 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 	if freed {
 		b.met.compensations.Inc()
 	}
-	if !needed.FitsIn(b.alloc.AvailableGuaranteed()) {
+	if !needed.FitsIn(sh.alloc.AvailableGuaranteed()) {
 		return freed, fmt.Errorf("core: compensation freed insufficient capacity for %v", needed)
 	}
 	return freed, nil
@@ -347,23 +402,27 @@ func (b *Broker) compensate(needed resource.Capacity) (bool, error) {
 // degradeToFloor shrinks an active session to its SLA floor (still
 // satisfying the SLA) and records it as degraded.
 func (b *Broker) degradeToFloor(id sla.ID) error {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	doc := s.doc
 	floor := doc.Spec.Floor()
 	if doc.Allocated.Equal(floor) {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	prevAlloc := doc.Allocated
 	prevState := doc.State
 	handle := s.handle
 	spec := doc.Spec.Clone()
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	if _, err := b.allocateLive(id, floor, floor); err != nil {
 		return err
@@ -372,14 +431,14 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 		return fmt.Errorf("core: degrade %s: %w", id, err)
 	}
 
-	b.mu.Lock()
+	sh.mu.Lock()
 	s.degraded = true
 	if s.doc.State == sla.StateActive {
 		_ = s.doc.Transition(sla.StateDegraded)
 	}
 	newState := s.doc.State
 	b.logLocked("adapt", id, "degraded to floor %v (scenario 1 compensation)", floor)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.met.degraded.Inc()
 	b.trace(id, prevState, newState, floor.Sub(prevAlloc), "degraded to floor (scenario 1)")
 	b.persist(id)
@@ -390,14 +449,18 @@ func (b *Broker) degradeToFloor(id sla.ID) error {
 // reservation committed, and the client charged.
 func (b *Broker) Accept(id sla.ID) error {
 	defer b.debugCheck("accept")
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State != sla.StateProposed {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
 	}
 	if s.confirm != nil {
@@ -405,12 +468,12 @@ func (b *Broker) Accept(id sla.ID) error {
 		s.confirm = nil
 	}
 	if err := s.doc.Transition(sla.StateEstablished); err != nil {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return err
 	}
 	price := s.doc.Price
 	b.logLocked("sla", id, "established; resources committed; charged %.2f", price)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	b.met.accepted.Inc()
 	b.trace(id, sla.StateProposed, sla.StateEstablished, resource.Capacity{}, "offer accepted")
@@ -449,27 +512,57 @@ func (b *Broker) expireOffer(id sla.ID) {
 
 // BestEffortRequest asks for best-effort capacity — no SLA, no
 // negotiation: "any suitable resources found are returned to the user"
-// (§5.1). The grant is immediate or refused.
+// (§5.1). The grant is immediate or refused. A client's best-effort
+// allocations are pinned to the shard of its first grant so repeated
+// grants and the final release balance on one partition; the first grant
+// picks a shard in placement order, falling back on ErrBestEffortFull.
 func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) error {
 	defer b.debugCheck("best-effort")
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return ErrClosed
 	}
-	b.mu.Unlock()
-	if err := b.alloc.AllocateBestEffort(client, amount); err != nil {
-		b.logf("best-effort", "", "denied %v to %q: %v", amount, client, err)
-		return err
+	b.beMu.Lock()
+	defer b.beMu.Unlock()
+	if sh, pinned := b.beRoute[client]; pinned {
+		if err := sh.alloc.AllocateBestEffort(client, amount); err != nil {
+			b.logf("best-effort", "", "denied %v to %q: %v", amount, client, err)
+			return err
+		}
+		b.logf("best-effort", "", "granted %v to %q", amount, client)
+		return nil
 	}
-	b.logf("best-effort", "", "granted %v to %q", amount, client)
-	return nil
+	var lastErr error
+	for _, sh := range b.placementOrder(0, resource.Capacity{}) {
+		err := sh.alloc.AllocateBestEffort(client, amount)
+		if err == nil {
+			b.beRoute[client] = sh
+			b.logf("best-effort", "", "granted %v to %q", amount, client)
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrBestEffortFull) {
+			break
+		}
+	}
+	b.logf("best-effort", "", "denied %v to %q: %v", amount, client, lastErr)
+	return lastErr
 }
 
 // BestEffortRelease returns a best-effort client's capacity.
 func (b *Broker) BestEffortRelease(client string) error {
 	defer b.debugCheck("best-effort-release")
-	if err := b.alloc.ReleaseBestEffort(client); err != nil {
+	b.beMu.Lock()
+	sh, pinned := b.beRoute[client]
+	if !pinned {
+		sh = b.shards[0]
+	}
+	err := sh.alloc.ReleaseBestEffort(client)
+	if err == nil || errors.Is(err, ErrUnknownUser) {
+		// An evicted borrower's pin is stale; drop it either way.
+		delete(b.beRoute, client)
+	}
+	b.beMu.Unlock()
+	if err != nil {
 		return err
 	}
 	b.logf("best-effort", "", "released all capacity of %q", client)

@@ -42,21 +42,25 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 		return nil, fmt.Errorf("core: renegotiation needs QoS parameters")
 	}
 
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State.Terminal() || s.doc.State == sla.StateProposed {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
 	}
 	class := s.doc.Class
 	oldSpec := s.doc.Spec.Clone()
 	oldAlloc := s.doc.Allocated
 	handle := s.handle
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Network endpoints cannot move mid-session (the flow is pinned);
 	// inherit them when absent.
@@ -71,7 +75,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	// headroom plus what the session already holds.
 	target := newSpec.Best()
 	if class == sla.ClassControlledLoad {
-		room := b.alloc.AvailableGuaranteed().Add(oldAlloc)
+		room := sh.alloc.AvailableGuaranteed().Add(oldAlloc)
 		target = newSpec.Clamp(target.Min(room)).Max(newSpec.Floor())
 	}
 	floor := newSpec.Floor()
@@ -79,11 +83,11 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	res := &RenegotiationResult{SLA: id, Old: oldAlloc}
 	grant, err := b.allocateLive(id, target, floor)
 	if err != nil {
-		// Scenario-1 compensation, then retry once. The session's own
-		// current hold is being replaced, so only the increment beyond
-		// it must be freed.
+		// Scenario-1 compensation on the session's own shard, then retry
+		// once. The session's current hold is being replaced, so only the
+		// increment beyond it must be freed.
 		needed := floor.Sub(oldAlloc).ClampMin(resource.Capacity{})
-		freed, cerr := b.compensate(needed)
+		freed, cerr := b.compensate(sh, needed)
 		if cerr != nil {
 			return nil, fmt.Errorf("core: renegotiate %s: %w (compensation: %v)", id, err, cerr)
 		}
@@ -106,12 +110,12 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	// Commit: new spec, allocation, price; re-derive the alternative
 	// QoS fallback from the new floor.
 	delta := b.prices.Cost(class, granted) - b.prices.Cost(class, oldAlloc)
-	b.mu.Lock()
+	sh.mu.Lock()
 	if s.doc.State.Terminal() {
 		// Torn down while the new reservation was being pushed; the
 		// teardown already released the grant and canceled the handle, so
 		// the terminal document must stand untouched.
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s terminated during renegotiation", ErrBadState, id)
 	}
 	s.doc.Spec = newSpec.Clone()
@@ -124,7 +128,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 		_ = s.doc.Transition(sla.StateActive)
 	}
 	b.logLocked("renegotiate", id, "QoS renegotiated %v -> %v (price %+.2f)", oldAlloc, granted, delta)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	switch {
 	case delta > 0:

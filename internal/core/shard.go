@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"gqosm/internal/pricing"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// This file is the sharding layer of the broker: the domain's Algorithm-1
+// state is partitioned into N independent shards, each with its own
+// capacity plan, allocator, session sub-table and mutex, so admissions on
+// different shards never contend. A placement layer routes each new
+// request to the least-loaded shard (deterministic tie-break by shard
+// index) and falls back across shards on ErrCannotHonor before declining —
+// the same capacity-error forwarding the federation applies between
+// domains, applied inside one domain. The Broker itself remains a thin
+// coordinator owning only the cross-shard concerns: global SLA-ID issue,
+// the activity log, the RunOptimizer/issuePromotions/afterRelease sweeps
+// and the invariant debug hook.
+//
+// Lock discipline: sh.mu → sh.alloc.mu → (clock, ledger, pool, NRM), and
+// routeMu / beMu / evMu / debugMu are leaf locks. Cross-shard sweeps
+// (Close, Sessions, ExpireDue, the restore pass, session gauges) acquire
+// shard locks strictly in ascending shard-index order and never hold two
+// shard locks at once: each shard is locked, read, and unlocked before the
+// next, with any follow-up work done lock-free on the collected snapshot.
+
+// shard is one slice of the domain: an independent Algorithm-1 partition
+// with its own session sub-table. All per-session state (sessions and
+// open promotion offers) lives on the shard that admitted the SLA.
+type shard struct {
+	index int
+	alloc *Allocator
+
+	mu       sync.Mutex
+	sessions map[sla.ID]*session
+	// promotions holds open scenario-2(c) offers for this shard's SLAs.
+	promotions map[sla.ID]pricing.PromotionOffer
+}
+
+// Split partitions the plan into n equal shares. Each pool is divided by
+// n; the last share takes the remainder so the shares always sum exactly
+// to the original plan (no capacity is lost to floating-point drift).
+// n ≤ 1 returns the plan itself.
+func (p CapacityPlan) Split(n int) []CapacityPlan {
+	if n <= 1 {
+		return []CapacityPlan{p}
+	}
+	per := CapacityPlan{
+		Guaranteed: p.Guaranteed.Scale(1 / float64(n)),
+		Adaptive:   p.Adaptive.Scale(1 / float64(n)),
+		BestEffort: p.BestEffort.Scale(1 / float64(n)),
+	}
+	out := make([]CapacityPlan, n)
+	rem := p
+	for i := 0; i < n-1; i++ {
+		out[i] = per
+		rem = CapacityPlan{
+			Guaranteed: rem.Guaranteed.Sub(per.Guaranteed),
+			Adaptive:   rem.Adaptive.Sub(per.Adaptive),
+			BestEffort: rem.BestEffort.Sub(per.BestEffort),
+		}
+	}
+	out[n-1] = rem
+	return out
+}
+
+// shardFor resolves a session ID to the shard that admitted it, or nil
+// when the ID is unknown. Sessions are never removed from their shard
+// (terminal sessions stay queryable), so a route, once installed, is
+// stable for the session's lifetime.
+func (b *Broker) shardFor(id sla.ID) *shard {
+	b.routeMu.RLock()
+	defer b.routeMu.RUnlock()
+	return b.route[id]
+}
+
+// placementOrder returns the shards to try for a new admission, most
+// attractive first: least-loaded by Allocator.LoadFactor with ties broken
+// by ascending shard index, so placement is deterministic for a given
+// load state. A non-zero 1-based hint moves that shard to the front (the
+// fallback chain still follows). With more than one shard, shards whose
+// admission bound can never fit the request floor are filtered out —
+// compensation frees allocations but cannot raise the bound, so attempting
+// them would only degrade innocent sessions for nothing; when every shard
+// is hopeless the least-loaded one is returned alone so the caller still
+// gets the allocator's precise refusal.
+func (b *Broker) placementOrder(hint int, floor resource.Capacity) []*shard {
+	if len(b.shards) == 1 {
+		return b.shards
+	}
+	loads := make([]float64, len(b.shards))
+	for _, sh := range b.shards {
+		loads[sh.index] = sh.alloc.LoadFactor()
+	}
+	ranked := make([]*shard, len(b.shards))
+	copy(ranked, b.shards)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		li, lj := loads[ranked[i].index], loads[ranked[j].index]
+		if li != lj {
+			return li < lj
+		}
+		return ranked[i].index < ranked[j].index
+	})
+	var hinted *shard
+	if hint >= 1 && hint <= len(b.shards) {
+		hinted = b.shards[hint-1]
+	}
+	out := make([]*shard, 0, len(ranked))
+	if hinted != nil {
+		// The hinted shard goes first even when hopeless: an explicit
+		// hint is a request to try that shard, and its refusal is
+		// informative.
+		out = append(out, hinted)
+	}
+	for _, sh := range ranked {
+		if sh == hinted {
+			continue
+		}
+		if !floor.FitsIn(sh.alloc.AdmissionBound()) {
+			continue
+		}
+		out = append(out, sh)
+	}
+	if len(out) == 0 {
+		out = append(out, ranked[0])
+	}
+	return out
+}
+
+// ShardCount returns the number of shards the domain is partitioned into.
+func (b *Broker) ShardCount() int { return len(b.shards) }
+
+// Allocators returns every shard's Algorithm-1 engine in shard-index
+// order. Allocator() remains shard 0 for single-shard callers.
+func (b *Broker) Allocators() []*Allocator {
+	out := make([]*Allocator, len(b.shards))
+	for i, sh := range b.shards {
+		out[i] = sh.alloc
+	}
+	return out
+}
+
+// ShardSessionCounts returns the number of sessions (any state) homed on
+// each shard, in shard-index order.
+func (b *Broker) ShardSessionCounts() []int {
+	out := make([]int, len(b.shards))
+	for i, sh := range b.shards {
+		sh.mu.Lock()
+		out[i] = len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardOf reports which shard (0-based) a session is homed on, or -1 for
+// unknown IDs.
+func (b *Broker) ShardOf(id sla.ID) int {
+	if sh := b.shardFor(id); sh != nil {
+		return sh.index
+	}
+	return -1
+}

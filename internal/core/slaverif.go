@@ -63,19 +63,23 @@ type ConformanceReport struct {
 // returns the Table-3 reply. A non-conformant result triggers scenario-3
 // adaptation.
 func (b *Broker) Verify(id sla.ID) (*ConformanceReport, error) {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	if s.doc.State.Terminal() || s.doc.State == sla.StateProposed {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s is %s", ErrBadState, id, s.doc.State)
 	}
 	doc := s.doc.Clone()
 	handle := s.handle
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	now := b.clock.Now()
 	report := &ConformanceReport{
@@ -116,7 +120,7 @@ func (b *Broker) Verify(id sla.ID) (*ConformanceReport, error) {
 	// allocator's coverage — below 1 only when failures exceed the
 	// adaptive reserve (the §5.6 t2 condition taken past its limit).
 	if hasComputeParams(doc.Spec) {
-		coverage := b.alloc.Coverage()
+		coverage := sh.alloc.Coverage()
 		report.Measured.CPU = doc.Allocated.CPU * coverage.CPU
 		report.Measured.MemoryMB = doc.Allocated.MemoryMB * coverage.MemoryMB
 		report.Measured.DiskGB = doc.Allocated.DiskGB * coverage.DiskGB
@@ -177,9 +181,13 @@ func (b *Broker) measureFlow(id sla.ID, handle gara.Handle, now time.Time) (nrm.
 // network QoS degrades, the NRM notifies the SLA-Verif system").
 func (b *Broker) onNetworkDegradation(flow nrm.Flow, m nrm.Measurement) {
 	id := sla.ID(flow.Tag)
-	b.mu.Lock()
-	_, ok := b.sessions[id]
-	b.mu.Unlock()
+	sh := b.shardFor(id)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	sh.mu.Unlock()
 	if !ok {
 		return
 	}
@@ -195,14 +203,18 @@ func (b *Broker) onNetworkDegradation(flow nrm.Flow, m nrm.Measurement) {
 // ladder (§4): (a) restore the agreed QoS; (b) re-negotiate to the
 // alternative QoS in the SLA; (c) terminate on major degradation.
 func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok || s.doc.State.Terminal() {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	doc := s.doc.Clone()
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	floor := doc.Spec.Floor()
 
@@ -219,9 +231,9 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 	// quality (covers compute failures absorbed by the adaptive pool —
 	// the grant itself already survives; restoration applies when we
 	// were previously degraded).
-	b.mu.Lock()
+	sh.mu.Lock()
 	wasDegraded := s.degraded
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if wasDegraded {
 		if err := b.restore(id); err == nil {
 			b.logf("adapt", id, "restored agreed QoS (scenario 3a)")
@@ -249,14 +261,14 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 	// and we are not already there.
 	if doc.Adapt.HasAlternative && !doc.Allocated.Equal(doc.Adapt.AlternativeQoS) &&
 		doc.Adapt.AlternativeQoS.FitsIn(doc.Allocated) {
-		b.mu.Lock()
+		sh.mu.Lock()
 		handle := s.handle
 		spec := s.doc.Spec.Clone()
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		alt := doc.Adapt.AlternativeQoS
 		if _, err := b.allocateLive(id, alt, alt.Min(floor)); err == nil {
 			if err := b.applyAllocation(id, handle, spec, alt, true); err == nil {
-				b.mu.Lock()
+				sh.mu.Lock()
 				s.degraded = true
 				prevState := s.doc.State
 				if s.doc.State == sla.StateActive {
@@ -266,7 +278,7 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 				}
 				newState := s.doc.State
 				b.logLocked("adapt", id, "switched to alternative QoS %v (scenario 3b)", alt)
-				b.mu.Unlock()
+				sh.mu.Unlock()
 				b.met.degraded.Inc()
 				b.trace(id, prevState, newState, alt.Sub(doc.Allocated), "alternative QoS (scenario 3b)")
 				b.persist(id)
@@ -277,9 +289,9 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 
 	// (c) Major degradation with no recourse: alert, and terminate after
 	// repeated violations.
-	b.mu.Lock()
+	sh.mu.Lock()
 	violations := s.violations
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if violated && violations >= 3 {
 		_ = b.Terminate(id, "terminated due to major QoS degradation (scenario 3c)")
 	}
@@ -287,10 +299,14 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 
 // recordViolation marks the session violated and charges the penalty.
 func (b *Broker) recordViolation(id sla.ID) {
-	b.mu.Lock()
-	s, ok := b.sessions[id]
+	sh := b.shardFor(id)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	s.violations++
@@ -302,7 +318,7 @@ func (b *Broker) recordViolation(id sla.ID) {
 	pen := s.doc.Penalty
 	count := s.violations
 	b.logLocked("violation", id, "SLA violation #%d detected", count)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.met.violations.Inc()
 	b.trace(id, prevState, newState, resource.Capacity{}, fmt.Sprintf("SLA violation #%d", count))
 
@@ -314,9 +330,13 @@ func (b *Broker) recordViolation(id sla.ID) {
 
 // Violations reports the violation count for a session.
 func (b *Broker) Violations(id sla.ID) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if s, ok := b.sessions[id]; ok {
+	sh := b.shardFor(id)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.sessions[id]; ok {
 		return s.violations
 	}
 	return 0
@@ -327,17 +347,19 @@ func (b *Broker) Violations(id sla.ID) int {
 // expired IDs.
 func (b *Broker) ExpireDue() []sla.ID {
 	now := b.clock.Now()
-	b.mu.Lock()
 	var due []sla.ID
-	for id, s := range b.sessions {
-		if s.doc.State.Terminal() || s.doc.State == sla.StateProposed {
-			continue
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.doc.State.Terminal() || s.doc.State == sla.StateProposed {
+				continue
+			}
+			if !s.doc.End.IsZero() && !now.Before(s.doc.End) {
+				due = append(due, id)
+			}
 		}
-		if !s.doc.End.IsZero() && !now.Before(s.doc.End) {
-			due = append(due, id)
-		}
+		sh.mu.Unlock()
 	}
-	b.mu.Unlock()
 	sortIDs(due)
 	for _, id := range due {
 		_ = b.Expire(id)
@@ -347,13 +369,23 @@ func (b *Broker) ExpireDue() []sla.ID {
 
 // NotifyFailure informs the broker of failed capacity (the §5.6 t2
 // event): the allocator adapts, preempting best-effort borrowers, and the
-// event is logged. Recovery is signalled with the zero capacity.
+// event is logged. Recovery is signalled with the zero capacity. The
+// failure is split evenly across shards — each absorbs its share through
+// its own adaptive reserve — and the preemptions are concatenated in
+// shard order.
 func (b *Broker) NotifyFailure(offline resource.Capacity) []Preemption {
 	defer b.debugCheck("failure")
 	if !offline.IsZero() {
 		b.met.failures.Inc()
 	}
-	pre := b.alloc.SetOffline(offline)
+	share := offline
+	if n := len(b.shards); n > 1 {
+		share = offline.Scale(1 / float64(n))
+	}
+	var pre []Preemption
+	for _, sh := range b.shards {
+		pre = append(pre, sh.alloc.SetOffline(share)...)
+	}
 	if offline.IsZero() {
 		b.logf("failure", "", "capacity recovered; adaptive reserve replenished")
 	} else {

@@ -5,8 +5,9 @@
 // and the Fig. 3 lifecycle promise jointly:
 //
 //  1. the compute pool never holds more than its capacity (mechanism);
-//  2. the allocator never over-commits any partition pool, and total
-//     guaranteed demand stays within what is deliverable (policy);
+//  2. no shard's allocator over-commits any partition pool, each shard's
+//     guaranteed demand stays within what that shard can deliver, and the
+//     domain-wide sum conserves total capacity (policy);
 //  3. every live session's allocation satisfies its SLA and matches the
 //     allocator's book;
 //  4. terminal sessions hold no allocator grant, and every guaranteed
@@ -31,8 +32,9 @@ import (
 // Violation is one broken invariant.
 type Violation struct {
 	// Rule names the invariant ("pool-oversubscribed",
-	// "partition-overfull", "guaranteed-overcommit", "terminal-grant",
-	// "live-no-grant", "sla-unsatisfied", "doc-allocator-skew",
+	// "partition-overfull", "guaranteed-overcommit",
+	// "domain-overcommit", "terminal-grant", "live-no-grant",
+	// "double-grant", "sla-unsatisfied", "doc-allocator-skew",
 	// "orphan-grant", "ledger-nan").
 	Rule string
 	// Detail describes the observed state.
@@ -97,35 +99,59 @@ func poolViolations(p *resource.Pool, now time.Time) []Violation {
 
 func brokerViolations(b *core.Broker) []Violation {
 	var vs []Violation
-	alloc := b.Allocator()
-	plan := alloc.Plan()
+	allocs := b.Allocators()
 
-	// Rule 2: no partition pool over-committed, and guaranteed demand
-	// within the deliverable bound C_G_eff + C_A.
-	var gTotal resource.Capacity
-	for _, u := range alloc.Snapshot() {
-		gTotal = gTotal.Add(u.Guaranteed)
-		if !u.Guaranteed.Add(u.BestEffort).FitsIn(u.Capacity.Sub(u.Offline)) {
+	// Rule 2, per shard: no partition pool over-committed, and guaranteed
+	// demand within that shard's deliverable bound C_G_eff + C_A. The
+	// per-shard totals are also summed for the whole-domain conservation
+	// check below, which must hold regardless of how admissions were
+	// distributed across shards.
+	var domainTotal, domainMax resource.Capacity
+	for si, alloc := range allocs {
+		plan := alloc.Plan()
+		var gTotal resource.Capacity
+		for _, u := range alloc.Snapshot() {
+			gTotal = gTotal.Add(u.Guaranteed)
+			if !u.Guaranteed.Add(u.BestEffort).FitsIn(u.Capacity.Sub(u.Offline)) {
+				vs = append(vs, Violation{
+					Rule:   "partition-overfull",
+					Detail: fmt.Sprintf("shard %d pool %s: %+v", si, u.Pool, u),
+				})
+			}
+		}
+		gMax := plan.Guaranteed.Sub(alloc.Offline()).ClampMin(resource.Capacity{}).Add(plan.Adaptive)
+		if !gTotal.FitsIn(gMax) {
 			vs = append(vs, Violation{
-				Rule:   "partition-overfull",
-				Detail: fmt.Sprintf("pool %s: %+v", u.Pool, u),
+				Rule:   "guaranteed-overcommit",
+				Detail: fmt.Sprintf("shard %d: guaranteed %v exceeds deliverable %v", si, gTotal, gMax),
 			})
 		}
+		domainTotal = domainTotal.Add(gTotal)
+		domainMax = domainMax.Add(gMax)
 	}
-	gMax := plan.Guaranteed.Sub(alloc.Offline()).ClampMin(resource.Capacity{}).Add(plan.Adaptive)
-	if !gTotal.FitsIn(gMax) {
+	if !domainTotal.FitsIn(domainMax) {
 		vs = append(vs, Violation{
-			Rule:   "guaranteed-overcommit",
-			Detail: fmt.Sprintf("guaranteed %v exceeds deliverable %v", gTotal, gMax),
+			Rule:   "domain-overcommit",
+			Detail: fmt.Sprintf("domain guaranteed %v exceeds deliverable %v", domainTotal, domainMax),
 		})
 	}
 
-	// Rules 3 and 4: session ↔ allocator consistency.
+	// Rules 3 and 4: session ↔ allocator consistency. Every allocator is
+	// scanned for every session, so a grant booked on the wrong shard (or
+	// duplicated across shards by a broken placement layer) is caught,
+	// not just a missing one.
 	live := make(map[string]bool)
 	for _, doc := range b.Sessions(nil) {
-		got, held := alloc.GuaranteedAllocation(string(doc.ID))
+		var got resource.Capacity
+		holders := 0
+		for _, alloc := range allocs {
+			if g, held := alloc.GuaranteedAllocation(string(doc.ID)); held {
+				got = g
+				holders++
+			}
+		}
 		if doc.State.Terminal() {
-			if held {
+			if holders > 0 {
 				vs = append(vs, Violation{
 					Rule:   "terminal-grant",
 					Detail: fmt.Sprintf("session %s is %s but still holds %v", doc.ID, doc.State, got),
@@ -134,12 +160,18 @@ func brokerViolations(b *core.Broker) []Violation {
 			continue
 		}
 		live[string(doc.ID)] = true
-		if !held {
+		if holders == 0 {
 			vs = append(vs, Violation{
 				Rule:   "live-no-grant",
 				Detail: fmt.Sprintf("live session %s (%s) has no allocator grant", doc.ID, doc.State),
 			})
 			continue
+		}
+		if holders > 1 {
+			vs = append(vs, Violation{
+				Rule:   "double-grant",
+				Detail: fmt.Sprintf("session %s holds grants on %d shards", doc.ID, holders),
+			})
 		}
 		if !doc.Spec.Accepts(doc.Allocated) {
 			vs = append(vs, Violation{
@@ -154,12 +186,14 @@ func brokerViolations(b *core.Broker) []Violation {
 			})
 		}
 	}
-	for _, user := range alloc.GuaranteedUsers() {
-		if !live[user] {
-			vs = append(vs, Violation{
-				Rule:   "orphan-grant",
-				Detail: fmt.Sprintf("guaranteed grant for %q has no live session", user),
-			})
+	for si, alloc := range allocs {
+		for _, user := range alloc.GuaranteedUsers() {
+			if !live[user] {
+				vs = append(vs, Violation{
+					Rule:   "orphan-grant",
+					Detail: fmt.Sprintf("guaranteed grant for %q on shard %d has no live session", user, si),
+				})
+			}
 		}
 	}
 

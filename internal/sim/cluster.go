@@ -39,6 +39,10 @@ type ClusterConfig struct {
 	ConfirmWindow time.Duration
 	// MinOptimizerGain forwarded to the broker.
 	MinOptimizerGain float64
+	// Shards forwarded to the broker (0 or 1 keeps the classic monolithic
+	// domain; N > 1 splits the plan into N per-shard allocators behind the
+	// placement layer).
+	Shards int
 	// Obs receives the cluster's metrics; nil lets the broker create a
 	// private registry (reachable via Cluster.Obs).
 	Obs *obs.Registry
@@ -136,6 +140,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		MDS:              dir,
 		ConfirmWindow:    cfg.ConfirmWindow,
 		MinOptimizerGain: cfg.MinOptimizerGain,
+		Shards:           cfg.Shards,
 		Obs:              cfg.Obs,
 	})
 	if err != nil {

@@ -38,6 +38,9 @@ type ParallelConfig struct {
 	Seed int64
 	// Plan is the Algorithm-1 partition; defaults to the §5.6 partition.
 	Plan core.CapacityPlan
+	// Shards is the broker shard count (default 1, the classic monolithic
+	// domain).
+	Shards int
 	// Obs receives the run's metrics; nil creates a private registry.
 	Obs *obs.Registry
 }
@@ -66,6 +69,17 @@ type ParallelResult struct {
 	AdmitP50MS float64 `json:"admit_p50_ms"`
 	AdmitP95MS float64 `json:"admit_p95_ms"`
 	AdmitP99MS float64 `json:"admit_p99_ms"`
+	// Shards is the broker shard count the run used.
+	Shards int `json:"shards"`
+	// ShardSessions counts sessions routed to each shard (terminal
+	// included), sampled at the last quiesce point before the drain; it
+	// shows how evenly the placement layer spread the load. Only emitted
+	// for sharded runs (Shards > 1), so the monolithic default keeps the
+	// flat all-scalar schema.
+	ShardSessions []int `json:"shard_sessions,omitempty"`
+	// ShardUtilization is each shard's guaranteed-partition load factor at
+	// the same sample point (max over dimensions of demand / bound).
+	ShardUtilization []float64 `json:"shard_utilization,omitempty"`
 }
 
 // parClient is one goroutine client's deterministic schedule and local
@@ -110,7 +124,10 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
-	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Obs: cfg.Obs})
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Shards: cfg.Shards, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +146,7 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		perPhase = 1
 	}
 	res := &ParallelResult{Clients: cfg.Clients, Phases: cfg.Phases,
-		Ops: perPhase * cfg.Clients * cfg.Phases}
+		Ops: perPhase * cfg.Clients * cfg.Phases, Shards: cfg.Shards}
 
 	start := time.Now()
 	for phase := 0; phase < cfg.Phases; phase++ {
@@ -149,6 +166,14 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		res.Checks++
 		if err := invariant.CheckAll(cluster.Broker, cluster.Clock.Now(), cluster.Pool); err != nil {
 			return res, fmt.Errorf("phase %d quiesce: %w", phase, err)
+		}
+	}
+	// Sample placement balance at the final quiesce point, while sessions
+	// are still live; after the drain every shard reads empty.
+	if cfg.Shards > 1 {
+		res.ShardSessions = cluster.Broker.ShardSessionCounts()
+		for _, a := range cluster.Broker.Allocators() {
+			res.ShardUtilization = append(res.ShardUtilization, a.LoadFactor())
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -178,88 +203,102 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if err := invariant.CheckAll(cluster.Broker, cluster.Clock.Now(), cluster.Pool); err != nil {
 		return res, fmt.Errorf("post-drain: %w", err)
 	}
-	alloc := cluster.Broker.Allocator()
-	if users := alloc.GuaranteedUsers(); len(users) != 0 {
-		return res, fmt.Errorf("capacity leaked: %d guaranteed grant(s) survive the drain: %v", len(users), users)
-	}
-	if got := alloc.AvailableGuaranteed(); !got.Equal(cfg.Plan.Guaranteed) {
-		return res, fmt.Errorf("capacity lost: guaranteed headroom %v after drain, want %v", got, cfg.Plan.Guaranteed)
-	}
-	if got := alloc.AvailableBestEffort(); !got.Equal(cfg.Plan.Total()) {
-		return res, fmt.Errorf("capacity lost: best-effort headroom %v after drain, want %v", got, cfg.Plan.Total())
+	for si, alloc := range cluster.Broker.Allocators() {
+		plan := alloc.Plan()
+		if users := alloc.GuaranteedUsers(); len(users) != 0 {
+			return res, fmt.Errorf("capacity leaked: shard %d: %d guaranteed grant(s) survive the drain: %v",
+				si, len(users), users)
+		}
+		if got := alloc.AvailableGuaranteed(); !got.Equal(plan.Guaranteed) {
+			return res, fmt.Errorf("capacity lost: shard %d guaranteed headroom %v after drain, want %v",
+				si, got, plan.Guaranteed)
+		}
+		if got := alloc.AvailableBestEffort(); !got.Equal(plan.Total()) {
+			return res, fmt.Errorf("capacity lost: shard %d best-effort headroom %v after drain, want %v",
+				si, got, plan.Total())
+		}
 	}
 	return res, nil
 }
 
 // step performs one randomly chosen lifecycle operation. The mix mirrors
 // the deterministic fuzz driver's.
+//
+// Every step draws exactly three values from the client's PRNG, whatever
+// the broker answers: a conditional draw (e.g. only rolling an index when
+// the proposed list is non-empty) would let other clients' interleaving —
+// via shared broker outcomes — shift this client's stream, and the
+// per-client schedule would stop being a pure function of the seed.
 func (c *parClient) step() {
 	b := c.cluster.Broker
 	clock := c.cluster.Clock
-	switch op := c.rng.Intn(10); {
+	op := c.rng.Intn(10)
+	r1 := c.rng.Intn(1 << 16)
+	r2 := c.rng.Intn(1 << 16)
+	switch {
 	case op <= 2: // new request
 		c.requested++
 		var req core.Request
 		now := clock.Now()
 		tag := strconv.Itoa(c.id) + "-" + strconv.Itoa(c.requested)
-		if c.rng.Intn(2) == 0 {
+		if r1%2 == 0 {
 			req = core.Request{
 				Service: "simulation",
 				Client:  "par-g" + tag,
 				Class:   sla.ClassGuaranteed,
-				Spec:    sla.NewSpec(sla.Exact(resource.CPU, float64(1+c.rng.Intn(8)))),
+				Spec:    sla.NewSpec(sla.Exact(resource.CPU, float64(1+r2%8))),
 				Start:   now,
-				End:     now.Add(time.Duration(1+c.rng.Intn(6)) * time.Hour),
+				End:     now.Add(time.Duration(1+(r2>>3)%6) * time.Hour),
 			}
 		} else {
-			min := float64(1 + c.rng.Intn(3))
+			min := float64(1 + r2%3)
 			req = core.Request{
 				Service:           "simulation",
 				Client:            "par-c" + tag,
 				Class:             sla.ClassControlledLoad,
-				Spec:              sla.NewSpec(sla.Range(resource.CPU, min, min+float64(c.rng.Intn(6)))),
+				Spec:              sla.NewSpec(sla.Range(resource.CPU, min, min+float64((r2>>2)%6))),
 				Start:             now,
-				End:               now.Add(time.Duration(1+c.rng.Intn(6)) * time.Hour),
-				AcceptDegradation: c.rng.Intn(2) == 0,
+				End:               now.Add(time.Duration(1+(r2>>5)%6) * time.Hour),
+				AcceptDegradation: (r1>>1)%2 == 0,
 			}
 		}
 		if offer, err := b.RequestService(req); err == nil {
 			c.proposed = append(c.proposed, offer.SLA.ID)
 		}
 	case op == 3: // accept
-		if id, ok := c.pick(&c.proposed); ok {
+		if id, ok := c.pick(&c.proposed, r1); ok {
 			if err := b.Accept(id); err == nil {
 				c.admitted++
 				c.active = append(c.active, id)
 			}
 		}
 	case op == 4: // reject
-		if id, ok := c.pick(&c.proposed); ok {
+		if id, ok := c.pick(&c.proposed, r1); ok {
 			_ = b.Reject(id)
 		}
 	case op == 5: // invoke
 		if len(c.active) > 0 {
-			_, _ = b.Invoke(c.active[c.rng.Intn(len(c.active))])
+			_, _ = b.Invoke(c.active[r1%len(c.active)])
 		}
 	case op == 6: // terminate
-		if id, ok := c.pick(&c.active); ok {
+		if id, ok := c.pick(&c.active, r1); ok {
 			if err := b.Terminate(id, "parallel stress"); err == nil {
 				c.terminated++
 			}
 		}
 	case op == 7: // time passes; offers expire, sessions lapse
-		clock.Advance(time.Duration(1+c.rng.Intn(10)) * time.Minute)
+		clock.Advance(time.Duration(1+r1%10) * time.Minute)
 		b.ExpireDue()
 	case op == 8: // failure / recovery
-		if c.rng.Intn(2) == 0 {
-			b.NotifyFailure(resource.Nodes(float64(c.rng.Intn(6))))
+		if r1%2 == 0 {
+			b.NotifyFailure(resource.Nodes(float64(r2 % 6)))
 		} else {
 			b.NotifyFailure(resource.Capacity{})
 		}
 	case op == 9: // best-effort churn + optimizer
 		client := "par-be" + strconv.Itoa(c.id)
-		if c.rng.Intn(2) == 0 {
-			_ = b.BestEffortRequest(client, resource.Nodes(float64(1+c.rng.Intn(4))))
+		if r1%2 == 0 {
+			_ = b.BestEffortRequest(client, resource.Nodes(float64(1+r2%4)))
 		} else {
 			_ = b.BestEffortRelease(client)
 		}
@@ -267,12 +306,12 @@ func (c *parClient) step() {
 	}
 }
 
-// pick removes and returns a random element of *ids.
-func (c *parClient) pick(ids *[]sla.ID) (sla.ID, bool) {
+// pick removes and returns the r-selected element of *ids.
+func (c *parClient) pick(ids *[]sla.ID, r int) (sla.ID, bool) {
 	if len(*ids) == 0 {
 		return "", false
 	}
-	i := c.rng.Intn(len(*ids))
+	i := r % len(*ids)
 	id := (*ids)[i]
 	*ids = append((*ids)[:i], (*ids)[i+1:]...)
 	return id, true
