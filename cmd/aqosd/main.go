@@ -46,6 +46,11 @@ func run() error {
 		confirm    = flag.Duration("confirm-window", 2*time.Minute, "offer confirmation window")
 		monitor    = flag.Duration("monitor-interval", time.Minute, "periodic QoS-management interval (0 disables)")
 		service    = flag.String("service", "simulation", "name of the advertised service")
+		rmAttempts = flag.Int("rm-attempts", 3, "attempts per RM-facing call (1 disables retries)")
+		rmTimeout  = flag.Duration("rm-timeout", 5*time.Second, "per-attempt timeout on RM-facing calls (0 disables)")
+		rmBackoff  = flag.Duration("rm-backoff", 100*time.Millisecond, "base backoff between RM retry attempts")
+		faultRate  = flag.Float64("fault-rate", 0, "chaos-test this daemon: per-site fault injection probability (0 disables)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector PRNG seed (with -fault-rate)")
 		peers      peerFlags
 	)
 	flag.Var(&peers, "peer", "neighboring AQoS endpoint as name=url (repeatable); requests this domain cannot serve are forwarded")
@@ -72,11 +77,24 @@ func run() error {
 		return fmt.Errorf("specify either -total or -guaranteed/-adaptive/-besteffort")
 	}
 
+	var inj *gqosm.FaultInjector
+	if *faultRate > 0 {
+		inj = gqosm.NewFaultInjector(*faultSeed, nil)
+		inj.SetDefault(gqosm.FaultPlan{Rate: *faultRate})
+		log.Printf("aqosd: CHAOS MODE: injecting faults at rate %g (seed %d)", *faultRate, *faultSeed)
+	}
 	stack, err := gqosm.NewStack(gqosm.StackConfig{
 		Domain:          *domain,
 		Plan:            plan,
 		ConfirmWindow:   *confirm,
 		MonitorInterval: *monitor,
+		Faults:          inj,
+		RMPolicy: gqosm.RetryPolicy{
+			Attempts: *rmAttempts,
+			Timeout:  *rmTimeout,
+			Backoff:  *rmBackoff,
+			Seed:     *faultSeed,
+		},
 	})
 	if err != nil {
 		return err

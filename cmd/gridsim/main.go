@@ -17,6 +17,7 @@
 //	gridsim -experiment all          # everything
 //	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
 //	gridsim -parallel -shards 4               # same, against a 4-shard broker
+//	gridsim -chaos -seed 7 -faultrate 0.2     # deterministic fault-injection replay
 package main
 
 import (
@@ -53,10 +54,15 @@ func run(args []string) error {
 		ops        = fs.Int("ops", 10000, "total lifecycle operations for -parallel")
 		phases     = fs.Int("phases", 10, "quiesce points for -parallel")
 		shards     = fs.Int("shards", 1, "broker shards for the -parallel run (serial baseline stays monolithic)")
-		jsonOut    = fs.Bool("json", false, "emit -parallel results as JSON")
+		jsonOut    = fs.Bool("json", false, "emit -parallel/-chaos results as JSON")
+		chaos      = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
+		faultRate  = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *jsonOut)
 	}
 	if *parallel {
 		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut)
@@ -140,6 +146,44 @@ func runParallel(clients, ops, phases, shards int, seed int64, jsonOut bool) err
 	fmt.Println("\nparallel-run metrics snapshot:")
 	if err := parObs.WritePrometheus(os.Stdout); err != nil {
 		return err
+	}
+	return nil
+}
+
+// runChaos replays the stress workload under seeded fault injection
+// (sim.RunChaos). Every reported field is deterministic: the same seed,
+// fault rate and shard count yield a byte-identical JSON report. The
+// JSON form is the shape recorded in BENCH_chaos.json (see README.md
+// "Chaos artifact"); CI gates on invariant_violations == 0.
+func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, jsonOut bool) error {
+	res, err := sim.RunChaos(sim.ChaosConfig{
+		Clients: clients, Ops: ops, Phases: phases, Seed: seed,
+		FaultRate: faultRate, Shards: shards,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		header("CHAOS", "stress workload under deterministic fault injection")
+		fmt.Printf("seed=%d faultrate=%.2f shards=%d ops=%d\n", res.Seed, res.FaultRate, res.Shards, res.Ops)
+		fmt.Printf("requested=%d admitted=%d (%.1f%%) terminated=%d\n",
+			res.Requested, res.Admitted, 100*res.AdmitRate, res.Terminated)
+		fmt.Printf("faults=%d by kind=%v virtual p95=%.1fms\n",
+			res.FaultsInjected, res.FaultsByKind, res.VirtualP95MS)
+		fmt.Printf("retries=%d timeouts=%d unavailable=%d reconciled cancels=%d\n",
+			res.Retries, res.Timeouts, res.Unavailable, res.ReconciledCancels)
+		fmt.Printf("degradations=%d restorations=%d\n", res.Degradations, res.Restorations)
+		fmt.Printf("invariant checks=%d violations=%d\n", res.Checks, res.InvariantViolations)
+	}
+	if res.InvariantViolations != 0 {
+		return fmt.Errorf("chaos run found %d invariant violation(s): %v",
+			res.InvariantViolations, res.Violations)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"gqosm/internal/clockx"
+	"gqosm/internal/faultx"
 	"gqosm/internal/registry"
 	"gqosm/internal/soapx"
 )
@@ -32,8 +33,10 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":8081", "HTTP listen address")
-		seed   = flag.String("seed", "", "optional XML file of services to pre-register")
+		listen    = flag.String("listen", ":8081", "HTTP listen address")
+		seed      = flag.String("seed", "", "optional XML file of services to pre-register")
+		faultRate = flag.Float64("fault-rate", 0, "chaos-test clients: probability of an injected SOAP fault per request (0 disables)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault injector PRNG seed (with -fault-rate)")
 	)
 	flag.Parse()
 
@@ -47,6 +50,12 @@ func run() error {
 	}
 
 	mux := soapx.NewMux()
+	if *faultRate > 0 {
+		inj := faultx.New(*faultSeed, clockx.Real())
+		inj.SetDefault(faultx.Plan{Rate: *faultRate})
+		mux.Faults = inj
+		log.Printf("registryd: CHAOS MODE: injecting SOAP faults at rate %g (seed %d)", *faultRate, *faultSeed)
+	}
 	reg.Mount(mux)
 	httpMux := http.NewServeMux()
 	httpMux.Handle("/", mux)

@@ -34,6 +34,7 @@ import (
 	"gqosm/internal/clockx"
 	"gqosm/internal/core"
 	"gqosm/internal/dsrt"
+	"gqosm/internal/faultx"
 	"gqosm/internal/gara"
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
@@ -80,6 +81,24 @@ type (
 	PromotionOffer = pricing.PromotionOffer
 	// ConformanceReport is an SLA-Verif result (Table 3).
 	ConformanceReport = core.ConformanceReport
+	// RetryPolicy bounds the broker's RM-facing calls (per-attempt
+	// timeout, bounded retries, jittered exponential backoff). The zero
+	// value is a single direct attempt.
+	RetryPolicy = core.RetryPolicy
+	// FaultInjector is the deterministic fault-injection layer; install
+	// one via StackConfig.Faults to chaos-test a deployment.
+	FaultInjector = faultx.Injector
+	// FaultPlan configures injection at one site or as the default.
+	FaultPlan = faultx.Plan
+)
+
+// Fault kinds for FaultPlan.Kinds.
+const (
+	FaultError   = faultx.KindError
+	FaultLatency = faultx.KindLatency
+	FaultHang    = faultx.KindHang
+	FaultPartial = faultx.KindPartial
+	FaultCrash   = faultx.KindCrash
 )
 
 // Re-exported constants.
@@ -109,6 +128,9 @@ var (
 	// PlanForFailureRate sizes the adaptive reserve from the expected
 	// failure rate.
 	PlanForFailureRate = core.PlanForFailureRate
+	// NewFaultInjector returns a seeded fault injector; nil clock means
+	// the wall clock.
+	NewFaultInjector = faultx.New
 )
 
 // StackConfig sizes a complete single-domain G-QoSM deployment.
@@ -158,6 +180,14 @@ type StackConfig struct {
 	// nil creates a private registry, reachable via Stack.Obs. Mount
 	// serves it on /metrics.
 	Obs *obs.Registry
+	// Faults, when non-nil, is installed on every substrate (GARA
+	// managers, GRAM, the NRM, the SOAP server mux) and on the broker's
+	// RM-facing call sites — the chaos-testing hook. Nil (the default)
+	// injects nothing.
+	Faults *FaultInjector
+	// RMPolicy bounds the broker's RM-facing calls; the zero value is
+	// the historical single direct attempt with no timeout.
+	RMPolicy RetryPolicy
 }
 
 // Stack is an assembled single-domain deployment: the AQoS broker wired to
@@ -181,6 +211,9 @@ type Stack struct {
 	// Obs is the metrics registry shared by all components; Mount
 	// serves it on /metrics.
 	Obs *obs.Registry
+	// Faults is the injector from StackConfig, when one was installed;
+	// Mount also arms it on the SOAP server mux.
+	Faults *FaultInjector
 }
 
 // NewStack assembles a deployment.
@@ -196,7 +229,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	pool := resource.NewPool(cfg.Domain, total)
 
 	g := gara.NewSystem()
-	g.RegisterManager(gara.NewComputeManager(pool))
+	g.RegisterManager(gara.WrapManager(gara.NewComputeManager(pool), cfg.Faults))
 
 	var netMgr *nrm.Manager
 	if cfg.Topology != nil {
@@ -205,7 +238,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			domain = cfg.Domain
 		}
 		netMgr = nrm.NewManager(domain, cfg.Topology)
-		g.RegisterManager(gara.NewNetworkManager(netMgr))
+		netMgr.InjectFaults(cfg.Faults)
+		g.RegisterManager(gara.WrapManager(gara.NewNetworkManager(netMgr), cfg.Faults))
 	}
 
 	reg := registry.New(clock)
@@ -240,6 +274,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	}
 
 	gramM := gram.NewManager(clock)
+	gramM.InjectFaults(cfg.Faults)
 
 	var (
 		sched   *dsrt.Scheduler
@@ -247,7 +282,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	)
 	if cfg.DSRTProcessors > 0 {
 		sched = dsrt.New(dsrt.Config{Processors: cfg.DSRTProcessors}, nil)
-		g.RegisterManager(gara.NewDSRTManager(sched))
+		g.RegisterManager(gara.WrapManager(gara.NewDSRTManager(sched), cfg.Faults))
 		adapter = core.NewDSRTAdapter(sched)
 		// Run every launched service process under a DSRT contract: the
 		// job's label carries the SLA ID, so degradations can be
@@ -281,6 +316,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Shards:           cfg.Shards,
 		EventLogCap:      cfg.EventLogCap,
 		Obs:              cfg.Obs,
+		Faults:           cfg.Faults,
+		RMPolicy:         cfg.RMPolicy,
 	})
 	if err != nil {
 		gramM.Close()
@@ -307,6 +344,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		DSRT:     sched,
 		RM:       adapter,
 		Obs:      metrics,
+		Faults:   cfg.Faults,
 	}
 	if cfg.MonitorInterval > 0 {
 		stack.Monitor = core.NewMonitor(broker, cfg.MonitorInterval)
@@ -370,6 +408,7 @@ func attachJobs(gramM *gram.Manager, sched *dsrt.Scheduler, adapter *core.DSRTAd
 // exposition on GET /metrics.
 func (s *Stack) Mount() *soapx.Mux {
 	mux := soapx.NewMux()
+	mux.Faults = s.Faults
 	s.Broker.Mount(mux)
 	s.Registry.Mount(mux)
 	mux.HandleHTTP("/metrics", s.Obs.Handler())

@@ -459,7 +459,7 @@ func (a *Allocator) AdmissionBound() resource.Capacity {
 	return a.gBoundLocked()
 }
 
-/// LoadFactor reports how full the guaranteed partition is: the maximum
+// LoadFactor reports how full the guaranteed partition is: the maximum
 // over dimensions of (guaranteed demand / admission bound), 0 for an idle
 // allocator and ≥ 1 when some dimension is saturated. The placement layer
 // ranks shards by it.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gqosm/internal/clockx"
+	"gqosm/internal/faultx"
 	"gqosm/internal/gara"
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
@@ -100,6 +101,14 @@ type Config struct {
 	// creates a private registry, so instrumentation is always live and
 	// reachable through Broker.Obs().
 	Obs *obs.Registry
+	// Faults injects failures at the broker's RM-facing call sites
+	// ("gara.create", "gara.modify", "gara.cancel", "gara.bind",
+	// "rm.rectify", "peer.request"); nil injects nothing.
+	Faults *faultx.Injector
+	// RMPolicy bounds RM-facing calls (retries, per-attempt timeout,
+	// backoff). The zero value is a single attempt with no deadline —
+	// the historical direct-call behavior.
+	RMPolicy RetryPolicy
 }
 
 // Event is one entry of the broker activity log (the Fig. 6 console).
@@ -190,6 +199,15 @@ type Broker struct {
 	// check installed by SetDebugHook.
 	debugMu   sync.Mutex
 	debugHook func(*Broker) error
+
+	// pol applies Config.RMPolicy (and fault injection) to RM-facing
+	// calls; see policy.go.
+	pol *policyRunner
+
+	// pcMu guards pendingCancels: reservations whose cancel exhausted
+	// its retry budget, kept for ReconcileReservations. A leaf lock.
+	pcMu           sync.Mutex
+	pendingCancels map[sla.ID]gara.Handle
 }
 
 // NewBroker assembles a broker from the config.
@@ -231,16 +249,18 @@ func NewBroker(cfg Config) (*Broker, error) {
 		cfg.Obs = obs.NewRegistry()
 	}
 	b := &Broker{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		prices:  cfg.Prices,
-		ledger:  cfg.Ledger,
-		repo:    cfg.Repo,
-		route:   make(map[sla.ID]*shard),
-		beRoute: make(map[string]*shard),
-		evBuf:   make([]Event, 0, cfg.EventLogCap),
-		obs:     cfg.Obs,
+		cfg:            cfg,
+		clock:          cfg.Clock,
+		prices:         cfg.Prices,
+		ledger:         cfg.Ledger,
+		repo:           cfg.Repo,
+		route:          make(map[sla.ID]*shard),
+		beRoute:        make(map[string]*shard),
+		evBuf:          make([]Event, 0, cfg.EventLogCap),
+		obs:            cfg.Obs,
+		pendingCancels: make(map[sla.ID]gara.Handle),
 	}
+	b.pol = newPolicyRunner(b, cfg.RMPolicy)
 	for i, plan := range cfg.Plan.Split(cfg.Shards) {
 		alloc, err := NewAllocator(plan)
 		if err != nil {
@@ -255,6 +275,9 @@ func NewBroker(cfg Config) (*Broker, error) {
 	}
 	b.met = newBrokerMetrics(b.obs)
 	b.registerGauges(b.obs)
+	b.obs.GaugeFunc("gqosm_broker_pending_cancels",
+		"Reservations awaiting a cancel retry after budget exhaustion",
+		func() float64 { return float64(b.PendingCancels()) })
 	if cfg.NRM != nil {
 		cfg.NRM.Subscribe(b.onNetworkDegradation)
 	}
@@ -379,6 +402,39 @@ func (b *Broker) Sessions(filter func(*sla.Document) bool) []*sla.Document {
 			if filter == nil || filter(s.doc) {
 				out = append(out, s.doc.Clone())
 			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionInfo is a snapshot of broker-internal session state, exposed
+// for invariant checking (reservation leaks, missing refunds) and
+// reconciliation.
+type SessionInfo struct {
+	ID         sla.ID
+	State      sla.State
+	Degraded   bool
+	Violations int
+	Handle     gara.Handle
+}
+
+// SessionInfos returns a snapshot of every session's internal state,
+// ordered by ID. Shards are visited in index order, one lock at a
+// time.
+func (b *Broker) SessionInfos() []SessionInfo {
+	var out []SessionInfo
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			out = append(out, SessionInfo{
+				ID:         id,
+				State:      s.doc.State,
+				Degraded:   s.degraded,
+				Violations: s.violations,
+				Handle:     s.handle,
+			})
 		}
 		sh.mu.Unlock()
 	}

@@ -120,7 +120,20 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 		ch := make(chan peerResult, 1)
 		results[i] = ch
 		go func(p Peer, ch chan<- peerResult) {
-			offer, err := p.PeerRequest(req)
+			// Each peer call runs under the home broker's retry policy:
+			// a flaky wire is retried, a dead neighbor is given up on
+			// after the budget instead of hanging the fan-out. A retry
+			// after a lost reply may leave an extra temporary reservation
+			// on the peer — its confirm window reclaims it, exactly like
+			// any other unaccepted offer.
+			var offer *Offer
+			err := f.home.pol.call("peer.request", func() error {
+				o, perr := p.PeerRequest(req)
+				if perr == nil {
+					offer = o
+				}
+				return perr
+			})
 			ch <- peerResult{offer: offer, err: err}
 		}(p, ch)
 	}

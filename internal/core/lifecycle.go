@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -47,7 +48,11 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 	if err != nil {
 		return gram.Job{}, fmt.Errorf("core: invoke %s: %w", id, err)
 	}
-	if err := b.cfg.GARA.Bind(handle, bindParamFor(job)); err != nil {
+	// Bind is idempotent on the GARA side, so retrying after a lost
+	// reply is safe.
+	if err := b.pol.call("gara.bind", func() error {
+		return b.cfg.GARA.Bind(handle, bindParamFor(job))
+	}); err != nil {
 		_ = b.cfg.GRAM.Cancel(job.ID)
 		return gram.Job{}, fmt.Errorf("core: bind %s: %w", id, err)
 	}
@@ -210,8 +215,17 @@ func (b *Broker) teardownIf(id sla.ID, final sla.State, reason string, pred func
 	_ = sh.alloc.ReleaseGuaranteed(string(id))
 	sh.mu.Unlock()
 
-	if err := b.cfg.GARA.Cancel(handle); err != nil {
-		b.logf("clearing", id, "reservation cancel: %v", err)
+	if err := b.pol.call("gara.cancel", func() error {
+		return b.cfg.GARA.Cancel(handle)
+	}); err != nil {
+		if errors.Is(err, ErrRMUnavailable) {
+			// The RM stayed down through the whole retry budget: park the
+			// handle so the reconciliation sweep keeps trying. The session
+			// itself is already terminal and its grant released.
+			b.parkCancel(id, handle)
+		} else {
+			b.logf("clearing", id, "reservation cancel: %v", err)
+		}
 	}
 	b.met.teardownSeconds.Observe(time.Since(started).Seconds())
 	b.trace(id, prevState, final, released.Scale(-1), reason)
@@ -326,7 +340,13 @@ func (b *Broker) restore(id sla.ID) error {
 // Promotion acceptance bills separately at the discounted offer price and
 // passes bill=false.
 func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c resource.Capacity, bill bool) error {
-	if err := b.cfg.GARA.Modify(handle, reservationRSL(spec, c, string(id))); err != nil {
+	if err := b.pol.call("gara.modify", func() error {
+		return b.cfg.GARA.Modify(handle, reservationRSL(spec, c, string(id)))
+	}); err != nil {
+		// The caller already moved the allocator to c; with the modify
+		// refused, the document (and billing) will keep the old quality,
+		// so the allocator must be walked back too or the books skew.
+		b.rollbackAllocation(id, c, bill)
 		return fmt.Errorf("core: apply allocation %s: %w", id, err)
 	}
 	var delta float64
@@ -354,6 +374,56 @@ func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c
 	}
 	b.persist(id)
 	return nil
+}
+
+// rollbackAllocation undoes the caller's allocateLive after a failed
+// GARA modify: the allocator holds c while the document kept the
+// previous quality. The documented quality is re-granted; if its
+// capacity was snapped up in the meantime (the failed change was a
+// degradation and another session took the freed headroom) the
+// allocator keeps c and the document is moved to match instead, with
+// billing following the delivered quality. Either way document and
+// allocator agree again; the reservation spec may be stale until the
+// next successful modify or teardown, which is logged, not silent.
+func (b *Broker) rollbackAllocation(id sla.ID, c resource.Capacity, bill bool) {
+	sh := b.shardFor(id)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if !ok || s.doc.State.Terminal() {
+		sh.mu.Unlock()
+		return
+	}
+	prev := s.doc.Allocated
+	sh.mu.Unlock()
+	// floor == requested: the re-grant either fully succeeds or leaves
+	// the existing grant (c) untouched — never a partial fallback.
+	if _, err := b.allocateLive(id, prev, prev); err == nil {
+		return
+	}
+	var delta float64
+	sh.mu.Lock()
+	if s, ok := sh.sessions[id]; ok && !s.doc.State.Terminal() {
+		if bill {
+			delta = b.prices.Cost(s.doc.Class, c) - b.prices.Cost(s.doc.Class, s.doc.Allocated)
+			s.doc.Price += delta
+		}
+		s.doc.Allocated = c
+		b.logLocked("adapt", id, "failed modify: allocator kept %v, reservation spec stale", c)
+	}
+	sh.mu.Unlock()
+	switch {
+	case delta > 0:
+		b.ledger.Charge(id, delta, b.clock.Now(), "quality upgrade")
+	case delta < 0:
+		b.ledger.Record(pricing.Entry{
+			Kind: pricing.EntryRefund, SLA: id, Amount: -delta,
+			At: b.clock.Now(), Note: "quality degradation refund",
+		})
+	}
+	b.persist(id)
 }
 
 // issuePromotions creates scenario-2(c) promotion offers for active

@@ -89,4 +89,7 @@ func (m *Monitor) tick() {
 	}
 	m.broker.ExpireDue()
 	_, _ = m.broker.RunOptimizer()
+	// Retry reservation cancels that exhausted their budget while an RM
+	// was down: teardown parks them, the monitor keeps sweeping.
+	m.broker.ReconcileReservations()
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"gqosm/internal/gara"
 	"gqosm/internal/registry"
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
@@ -206,11 +207,21 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensure
 		price = b.prices.Cost(req.Class, quality)
 	}
 
-	// Mechanism: temporary GARA reservation.
+	// Mechanism: temporary GARA reservation, created idempotently: a
+	// retry after a lost reply adopts the reservation already committed
+	// under this SLA's tag instead of double-committing it.
 	spec := reservationRSL(req.Spec, allocated, string(id))
-	handle, err := b.cfg.GARA.Create(spec, req.Start, req.End, string(id))
+	handle, err := b.pol.callCreate("gara.create", string(id), func() (gara.Handle, error) {
+		return b.cfg.GARA.Create(spec, req.Start, req.End, string(id))
+	})
 	if err != nil {
 		_ = sh.alloc.ReleaseGuaranteed(string(id))
+		// A timed-out or partially-failed attempt may still have
+		// committed the reservation; park it so the reconciliation
+		// sweep cancels it rather than leaking it.
+		if h, ok := b.cfg.GARA.FindByTag(string(id)); ok {
+			b.parkCancel(id, h)
+		}
 		return nil, fmt.Errorf("core: reservation: %w", err)
 	}
 

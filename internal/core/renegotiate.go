@@ -102,7 +102,9 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 	granted := grant.Granted
 
 	// Push the new reservation; on failure roll the allocator back.
-	if err := b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id))); err != nil {
+	if err := b.pol.call("gara.modify", func() error {
+		return b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id)))
+	}); err != nil {
 		_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
 		return nil, fmt.Errorf("core: renegotiate %s: %w", id, err)
 	}

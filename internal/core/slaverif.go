@@ -221,10 +221,22 @@ func (b *Broker) handleDegradation(id sla.ID, measured resource.Capacity) {
 	// RM level first (§3.2): "the underlying resource manager attempts
 	// to rectify the problem by applying adaptation techniques at the
 	// resource management level"; only when that fails does the AQoS
-	// adapt.
-	if b.cfg.RM != nil && b.cfg.RM.TryRectify(id, doc, measured) {
-		b.logf("adapt", id, "degradation rectified at the resource-manager level")
-		return
+	// adapt. The probe runs under the per-attempt timeout with no
+	// retries — a hung or unreachable RM must not stall the monitor
+	// loop, and a second probe has no value: either way the ladder
+	// continues as if the RM could not help.
+	if b.cfg.RM != nil {
+		rectified := false
+		err := b.pol.callOnce("rm.rectify", func() error {
+			rectified = b.cfg.RM.TryRectify(id, doc, measured)
+			return nil
+		})
+		if err != nil {
+			b.logf("adapt", id, "RM rectify probe failed (%v); continuing adaptation ladder", err)
+		} else if rectified {
+			b.logf("adapt", id, "degradation rectified at the resource-manager level")
+			return
+		}
 	}
 
 	// (a) Restore: if the allocator has headroom, re-grant the agreed

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"time"
 
@@ -154,11 +155,35 @@ func decodeRequest(req xmlmsg.ServiceRequestXML) (Request, error) {
 // Client is a typed SOAP client for a remote AQoS broker.
 type Client struct {
 	SOAP soapx.Client
+	// Retries is the number of extra attempts after a transport-level
+	// failure (connection refused/reset, an injected wire fault): the
+	// request may never have reached the broker, so resending is the
+	// right move. SOAP faults are definitive answers and never retried.
+	// 0 keeps the historical single attempt.
+	Retries int
+	// RetryDelay is the pause between attempts, in real time — the
+	// client talks to live endpoints, not a simulated clock.
+	RetryDelay time.Duration
 }
 
 // NewClient returns a client for the broker at endpoint.
 func NewClient(endpoint string) *Client {
 	return &Client{SOAP: soapx.Client{Endpoint: endpoint}}
+}
+
+// call sends one SOAP request under the client's transport-retry
+// budget.
+func (c *Client) call(request, response any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.SOAP.Call(request, response)
+		if err == nil || !errors.Is(err, soapx.ErrTransport) || attempt >= c.Retries {
+			return err
+		}
+		if c.RetryDelay > 0 {
+			time.Sleep(c.RetryDelay)
+		}
+	}
 }
 
 // RequestService sends a service_request and returns the offer.
@@ -181,7 +206,7 @@ func (c *Client) RequestService(r Request) (*xmlmsg.ServiceOfferXML, error) {
 		req.MaxLoss = fmt.Sprintf("LessThan %g%%", r.Spec.MaxPacketLossPct)
 	}
 	var resp xmlmsg.ServiceOfferXML
-	if err := c.SOAP.Call(&req, &resp); err != nil {
+	if err := c.call(&req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -191,7 +216,7 @@ func (c *Client) RequestService(r Request) (*xmlmsg.ServiceOfferXML, error) {
 // "accept_promotion") and returns the acknowledgement detail.
 func (c *Client) Act(id sla.ID, action, reason string) (string, error) {
 	var resp xmlmsg.AckXML
-	err := c.SOAP.Call(&xmlmsg.SLAActionXML{SLAID: string(id), Action: action, Reason: reason}, &resp)
+	err := c.call(&xmlmsg.SLAActionXML{SLAID: string(id), Action: action, Reason: reason}, &resp)
 	if err != nil {
 		return "", err
 	}
@@ -202,7 +227,7 @@ func (c *Client) Act(id sla.ID, action, reason string) (string, error) {
 // document.
 func (c *Client) Verify(id sla.ID) (*QoSLevelsXML, error) {
 	var resp QoSLevelsXML
-	if err := c.SOAP.Call(&xmlmsg.SLAActionXML{SLAID: string(id), Action: "verify"}, &resp); err != nil {
+	if err := c.call(&xmlmsg.SLAActionXML{SLAID: string(id), Action: "verify"}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -230,7 +255,7 @@ func (c *Client) Renegotiate(id sla.ID, spec sla.Spec) (string, error) {
 		req.MaxLoss = fmt.Sprintf("LessThan %g%%", spec.MaxPacketLossPct)
 	}
 	var resp xmlmsg.AckXML
-	if err := c.SOAP.Call(&req, &resp); err != nil {
+	if err := c.call(&req, &resp); err != nil {
 		return "", err
 	}
 	return resp.Detail, nil
@@ -246,5 +271,5 @@ func (c *Client) BestEffort(client string, amount resource.Capacity, release boo
 		Release: release,
 	}
 	var resp xmlmsg.AckXML
-	return c.SOAP.Call(&req, &resp)
+	return c.call(&req, &resp)
 }

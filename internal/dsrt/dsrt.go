@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"gqosm/internal/faultx"
 	"gqosm/internal/obs"
 )
 
@@ -156,7 +157,15 @@ type Scheduler struct {
 	mu     sync.Mutex
 	nextID PID
 	procs  map[PID]*Process
+
+	// faults injects admission failures; nil injects nothing. Set at
+	// assembly time, before the scheduler serves requests.
+	faults *faultx.Injector
 }
+
+// InjectFaults installs a fault injector on process admission (site
+// "dsrt.register"). Call at assembly time.
+func (s *Scheduler) InjectFaults(inj *faultx.Injector) { s.faults = inj }
 
 // New returns a scheduler with the given configuration.
 func New(cfg Config, onAdjust AdjustmentFunc) *Scheduler {
@@ -188,6 +197,9 @@ func (s *Scheduler) reservedLocked() float64 {
 // Capacity.
 func (s *Scheduler) Register(c Contract) (PID, error) {
 	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.faults.Do("dsrt.register", func() error { return nil }); err != nil {
 		return 0, err
 	}
 	s.mu.Lock()

@@ -77,6 +77,11 @@ type Reservation struct {
 	Start, End time.Time
 	Status     Status
 	BoundPID   int
+	// Tag is the caller-supplied idempotency tag passed to Create (the
+	// broker uses the SLA ID). Retry layers use it to adopt a
+	// reservation whose create reply was lost instead of committing a
+	// second one.
+	Tag string
 	// Parts lists the component reservations: resource-manager type →
 	// manager-internal token. Single-type requests have one part.
 	Parts map[string]string
@@ -262,6 +267,7 @@ func (s *System) create(reqRSL string, start, end time.Time, tag string) (Handle
 		Start:  start,
 		End:    end,
 		Status: StatusReserved,
+		Tag:    tag,
 		Parts:  make(map[string]string, len(parts)),
 	}
 	for _, p := range parts {
@@ -417,6 +423,39 @@ func (s *System) Get(h Handle) (Reservation, error) {
 		return Reservation{}, fmt.Errorf("%w: %s", ErrUnknownHandle, h)
 	}
 	return snapshot(r), nil
+}
+
+// FindByTag returns the handle of the live (non-canceled) reservation
+// created with tag, if any. Tags are the broker's idempotency key: it
+// uses one SLA ID per reservation, so at most one live reservation
+// matches. With several (a double-commit bug upstream) the
+// lowest-numbered handle wins, deterministically.
+func (s *System) FindByTag(tag string) (Handle, bool) {
+	if tag == "" {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		best  Handle
+		found bool
+	)
+	for h, r := range s.res {
+		if r.Tag != tag || r.Status == StatusCanceled {
+			continue
+		}
+		if !found || handleLess(h, best) {
+			best, found = h, true
+		}
+	}
+	return best, found
+}
+
+func handleLess(a, b Handle) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
 }
 
 // Reservations returns snapshots of all reservations ordered by handle.

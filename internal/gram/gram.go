@@ -21,6 +21,7 @@ import (
 	"gqosm/internal/obs"
 
 	"gqosm/internal/clockx"
+	"gqosm/internal/faultx"
 	"gqosm/internal/rsl"
 )
 
@@ -101,7 +102,15 @@ type Manager struct {
 	// met holds nil-safe job-state counters; zero until Instrument is
 	// called.
 	met gramMetrics
+
+	// faults injects submission failures; nil injects nothing. Set at
+	// assembly time, before the manager accepts jobs.
+	faults *faultx.Injector
 }
+
+// InjectFaults installs a fault injector on job submission (site
+// "gram.submit"). Call at assembly time.
+func (m *Manager) InjectFaults(inj *faultx.Injector) { m.faults = inj }
 
 type gramMetrics struct {
 	submitted, submitErrors *obs.Counter
@@ -162,11 +171,19 @@ func (m *Manager) Subscribe(f StateFunc) {
 // seconds) schedules automatic completion, otherwise the job runs until
 // Cancel or Fail.
 func (m *Manager) Submit(spec string) (Job, error) {
-	job, err := m.submit(spec)
+	var job Job
+	err := m.faults.Do("gram.submit", func() error {
+		j, err := m.submit(spec)
+		if err == nil {
+			job = j
+		}
+		return err
+	})
 	if err != nil {
 		m.met.submitErrors.Inc()
+		return Job{}, err
 	}
-	return job, err
+	return job, nil
 }
 
 func (m *Manager) submit(spec string) (Job, error) {

@@ -22,10 +22,13 @@ package invariant
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"gqosm/internal/core"
+	"gqosm/internal/gara"
+	"gqosm/internal/pricing"
 	"gqosm/internal/resource"
 )
 
@@ -35,7 +38,9 @@ type Violation struct {
 	// "partition-overfull", "guaranteed-overcommit",
 	// "domain-overcommit", "terminal-grant", "live-no-grant",
 	// "double-grant", "sla-unsatisfied", "doc-allocator-skew",
-	// "orphan-grant", "ledger-nan").
+	// "orphan-grant", "ledger-nan", and from CheckReservations:
+	// "duplicate-reservation-tag", "leaked-reservation",
+	// "missing-refund").
 	Rule string
 	// Detail describes the observed state.
 	Detail string
@@ -200,6 +205,98 @@ func brokerViolations(b *core.Broker) []Violation {
 	// Rule 5: accounting sanity.
 	if rev := b.Ledger().NetRevenue(); rev != rev { // NaN check
 		vs = append(vs, Violation{Rule: "ledger-nan", Detail: "net revenue is NaN"})
+	}
+	return vs
+}
+
+// ReservationCheck configures CheckReservations.
+type ReservationCheck struct {
+	// Final enables the drain-only rules (leaked-reservation,
+	// missing-refund). They compare the reservation table and the
+	// ledger against the session set, which is only meaningful after
+	// the workload has fully drained: faults disabled, every session
+	// driven terminal, and ReconcileReservations run to completion.
+	Final bool
+}
+
+// CheckReservations runs the fault-tolerance invariants the retry layer
+// promises, against the broker and its GARA system:
+//
+//   - duplicate-reservation-tag (any quiesce point): at most one live
+//     reservation per idempotency tag — a retried two-phase create must
+//     adopt, never double-commit;
+//   - leaked-reservation (Final only): every surviving reservation
+//     belongs to a live session — nothing leaks across a crashed RM
+//     once reconciliation has run;
+//   - missing-refund (Final only): a session that ended its life
+//     degraded was refunded the price difference; assumes pricing is
+//     strictly monotone in capacity, as every shipped rate plan is.
+func CheckReservations(b *core.Broker, g *gara.System, opt ReservationCheck) error {
+	return wrap(reservationViolations(b, g, opt))
+}
+
+func reservationViolations(b *core.Broker, g *gara.System, opt ReservationCheck) []Violation {
+	var vs []Violation
+	reservations := g.Reservations()
+
+	liveByTag := make(map[string]int)
+	for _, r := range reservations {
+		if r.Status == gara.StatusCanceled || r.Tag == "" {
+			continue
+		}
+		liveByTag[r.Tag]++
+	}
+	var dups []string
+	for tag, n := range liveByTag {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("%s×%d", tag, n))
+		}
+	}
+	sort.Strings(dups)
+	for _, d := range dups {
+		vs = append(vs, Violation{
+			Rule:   "duplicate-reservation-tag",
+			Detail: "double-committed reservation: " + d,
+		})
+	}
+	if !opt.Final {
+		return vs
+	}
+
+	infos := b.SessionInfos()
+	liveSession := make(map[string]bool)
+	for _, s := range infos {
+		if !s.State.Terminal() {
+			liveSession[string(s.ID)] = true
+		}
+	}
+	for _, r := range reservations {
+		if r.Status == gara.StatusCanceled {
+			continue
+		}
+		if !liveSession[r.Tag] {
+			vs = append(vs, Violation{
+				Rule: "leaked-reservation",
+				Detail: fmt.Sprintf("reservation %s (tag %q) is %s but no live session owns it",
+					r.Handle, r.Tag, r.Status),
+			})
+		}
+	}
+
+	refunded := make(map[string]bool)
+	for _, e := range b.Ledger().Entries() {
+		if e.Kind == pricing.EntryRefund {
+			refunded[string(e.SLA)] = true
+		}
+	}
+	for _, s := range infos {
+		if s.State.Terminal() && s.Degraded && !refunded[string(s.ID)] {
+			vs = append(vs, Violation{
+				Rule: "missing-refund",
+				Detail: fmt.Sprintf("session %s was torn down while degraded with no refund on the ledger",
+					s.ID),
+			})
+		}
 	}
 	return vs
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"gqosm/internal/faultx"
 	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 )
@@ -275,7 +276,16 @@ type Manager struct {
 	// met holds nil-safe flow-check counters; zero until Instrument is
 	// called.
 	met nrmMetrics
+
+	// faults injects failures into link operations; nil injects nothing.
+	// Set at assembly time, before the manager serves requests.
+	faults *faultx.Injector
 }
+
+// InjectFaults installs a fault injector on the manager's link
+// operations (sites "nrm.reserve", "nrm.release", "nrm.measure"). Call
+// at assembly time.
+func (m *Manager) InjectFaults(inj *faultx.Injector) { m.faults = inj }
 
 type nrmMetrics struct {
 	checks        *obs.Counter
@@ -346,7 +356,17 @@ func (m *Manager) Subscribe(f DegradationFunc) {
 // endpoints over [start, end). Every link along the shortest domain path
 // must admit the reservation; on any failure all segments are rolled back.
 func (m *Manager) Reserve(srcIP, dstIP string, mbps float64, start, end time.Time, tag string) (*Flow, error) {
-	f, err := m.reserve(srcIP, dstIP, mbps, start, end, tag)
+	var f *Flow
+	err := m.faults.Do("nrm.reserve", func() error {
+		flow, err := m.reserve(srcIP, dstIP, mbps, start, end, tag)
+		if err == nil {
+			f = flow
+		}
+		return err
+	})
+	if err != nil {
+		f = nil
+	}
 	if err != nil {
 		m.met.reserveErrors.Inc()
 	} else {
@@ -416,6 +436,11 @@ func (m *Manager) reserve(srcIP, dstIP string, mbps float64, start, end time.Tim
 
 // Release tears down a flow's reservations on every link.
 func (m *Manager) Release(id FlowID) error {
+	// The fault check runs before any teardown so an injected error
+	// leaves the flow intact for a retry.
+	if err := m.faults.Do("nrm.release", func() error { return nil }); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	st, ok := m.flows[id]
 	if ok {
@@ -463,6 +488,9 @@ func (m *Manager) Flows() []Flow {
 // as per-hop base plus injected extras, and loss as the sum of injected
 // losses.
 func (m *Manager) Measure(id FlowID, now time.Time) (Measurement, error) {
+	if err := m.faults.Do("nrm.measure", func() error { return nil }); err != nil {
+		return Measurement{}, err
+	}
 	m.mu.Lock()
 	st, ok := m.flows[id]
 	m.mu.Unlock()

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gqosm/internal/clockx"
+	"gqosm/internal/core"
+	"gqosm/internal/faultx"
+	"gqosm/internal/invariant"
+	"gqosm/internal/obs"
+	"gqosm/internal/resource"
+)
+
+// This file is the chaos harness: the PR-1 stress workload replayed
+// against a cluster whose substrates (GARA managers, NRM, GRAM) and
+// broker call sites inject seeded faults — errors, virtual latency,
+// hangs-until-deadline, partial failures (committed but reply lost) and
+// crash-then-recover windows. The run is fully deterministic: clients
+// execute their per-seed schedules serially in round-robin order on the
+// manual clock, the injector draws from one seeded PRNG, and latency
+// under faults is accounted virtually (recorded, never slept). Two runs
+// with the same seed, fault rate and shard count produce bit-identical
+// results.
+//
+// At every phase barrier the full invariant oracle runs, plus the
+// fault-tolerance rule that a retried two-phase create never
+// double-commits. After the final drain — faults disabled, every
+// session driven terminal, parked cancels reconciled — the drain-only
+// rules run too: no reservation outlives its session (nothing leaks
+// across a crashed RM) and every degraded-then-torn-down session was
+// refunded.
+
+// ChaosConfig sizes a RunChaos run.
+type ChaosConfig struct {
+	// Clients is the number of simulated clients (default 8). Their
+	// schedules are identical to RunParallel's, executed serially.
+	Clients int
+	// Ops is the total number of lifecycle operations (default 10000).
+	Ops int
+	// Phases is the number of quiesce points (default 10).
+	Phases int
+	// Seed seeds both the client schedules (client i draws from
+	// Seed+i, as in RunParallel) and the fault injector.
+	Seed int64
+	// FaultRate is the per-site injection probability (default 0.2).
+	FaultRate float64
+	// Plan is the Algorithm-1 partition; defaults to the §5.6 one.
+	Plan core.CapacityPlan
+	// Shards is the broker shard count (default 1).
+	Shards int
+	// Obs receives the run's metrics; nil creates a private registry.
+	Obs *obs.Registry
+}
+
+// ChaosResult reports a RunChaos run. Every field is deterministic for
+// a given (Seed, FaultRate, Shards, Clients, Ops, Phases): wall-clock
+// measurements are deliberately excluded so the report can be diffed
+// byte-for-byte across runs.
+type ChaosResult struct {
+	Seed      int64   `json:"seed"`
+	FaultRate float64 `json:"fault_rate"`
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Phases    int     `json:"phases"`
+
+	// Requested / Admitted / Terminated count successful lifecycle
+	// transitions; AdmitRate is Admitted / Requested.
+	Requested  int     `json:"requested"`
+	Admitted   int     `json:"admitted"`
+	Terminated int     `json:"terminated"`
+	AdmitRate  float64 `json:"admit_rate"`
+
+	// Degradations / Restorations are the broker's scenario-3/2a
+	// lifecycle counters.
+	Degradations int64 `json:"degradations"`
+	Restorations int64 `json:"restorations"`
+
+	// Retries / Timeouts / Unavailable are the retry-policy budget
+	// totals across all RM-facing call sites.
+	Retries     int64 `json:"retries"`
+	Timeouts    int64 `json:"timeouts"`
+	Unavailable int64 `json:"unavailable"`
+
+	// FaultsInjected totals injections; FaultsByKind breaks them down
+	// ("error", "latency", "hang", "partial", "crash").
+	FaultsInjected int64            `json:"faults_injected"`
+	FaultsByKind   map[string]int64 `json:"faults_by_kind"`
+
+	// ReconciledCancels counts parked reservation cancels cleared by
+	// the drain-time reconciliation sweeps.
+	ReconciledCancels int `json:"reconciled_cancels"`
+
+	// VirtualP95MS is the p95 of injected virtual latency (recorded
+	// delays plus timed-out attempt deadlines) in milliseconds — the
+	// deterministic stand-in for "p95 under faults".
+	VirtualP95MS float64 `json:"virtual_p95_ms"`
+
+	// InvariantViolations totals oracle violations across all checks;
+	// Checks counts oracle passes. CI gates on violations == 0.
+	InvariantViolations int      `json:"invariant_violations"`
+	Checks              int      `json:"checks"`
+	Violations          []string `json:"violations,omitempty"`
+}
+
+// RunChaos replays the stress workload under seeded fault injection and
+// returns the deterministic report. A non-nil error means the harness
+// itself failed (assembly, lost capacity at drain); oracle violations
+// are reported in the result, not as an error, so the report is always
+// emitted for CI to gate on.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 10000
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 10
+	}
+	if cfg.FaultRate <= 0 {
+		cfg.FaultRate = 0.2
+	}
+	if cfg.Plan.Total().IsZero() {
+		cfg.Plan = DefaultParallelPlan()
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+
+	clock := clockx.NewManual(Epoch)
+	inj := faultx.New(cfg.Seed, clock)
+	// Crash windows are kept short relative to the workload's simulated
+	// time (clients advance the clock ~1–10 min on a tenth of their
+	// steps), so crashed sites actually recover mid-run and the
+	// crash-then-recover path is exercised, not just fail-fast.
+	inj.SetDefault(faultx.Plan{Rate: cfg.FaultRate, CrashFor: 2 * time.Minute})
+
+	cluster, err := NewCluster(ClusterConfig{
+		Plan:   cfg.Plan,
+		Shards: cfg.Shards,
+		Obs:    cfg.Obs,
+		Clock:  clock,
+		Faults: inj,
+		// Backoff MUST stay 0: the serial harness runs on the manual
+		// clock, and a backoff sleep would park forever with nobody
+		// advancing time. Timed-out hang attempts charge the 2 s
+		// deadline to the virtual latency accounting instead.
+		RMPolicy: core.RetryPolicy{Attempts: 3, Timeout: 2 * time.Second, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	clients := make([]*parClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &parClient{
+			id:      i,
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			cluster: cluster,
+		}
+	}
+	perPhase := cfg.Ops / (cfg.Clients * cfg.Phases)
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	res := &ChaosResult{
+		Seed: cfg.Seed, FaultRate: cfg.FaultRate, Shards: cfg.Shards,
+		Clients: cfg.Clients, Phases: cfg.Phases,
+		Ops: perPhase * cfg.Clients * cfg.Phases,
+	}
+
+	record := func(stage string, err error) {
+		if err == nil {
+			return
+		}
+		if ie, ok := err.(*invariant.Error); ok {
+			res.InvariantViolations += len(ie.Violations)
+			for _, v := range ie.Violations {
+				res.Violations = append(res.Violations, stage+": "+v.String())
+			}
+			return
+		}
+		res.InvariantViolations++
+		res.Violations = append(res.Violations, stage+": "+err.Error())
+	}
+
+	// Serial round-robin: client schedules interleave the same way on
+	// every run, so the injector's PRNG sees an identical call sequence.
+	for phase := 0; phase < cfg.Phases; phase++ {
+		for i := 0; i < perPhase; i++ {
+			for _, cl := range clients {
+				cl.step()
+			}
+		}
+		stage := fmt.Sprintf("phase %d", phase)
+		res.Checks++
+		record(stage, invariant.CheckAll(cluster.Broker, clock.Now(), cluster.Pool))
+		record(stage, invariant.CheckReservations(cluster.Broker, cluster.GARA, invariant.ReservationCheck{}))
+	}
+
+	// Final drain on a healthy substrate: injection off (crash windows
+	// cleared), any blocked hangs released, failed capacity recovered,
+	// every session driven terminal, parked cancels reconciled.
+	inj.SetEnabled(false)
+	inj.ReleaseHangs()
+	cluster.Broker.NotifyFailure(resource.Capacity{})
+	for _, cl := range clients {
+		cl.drain()
+		res.Requested += cl.requested
+		res.Admitted += cl.admitted
+		res.Terminated += cl.terminated
+	}
+	res.ReconciledCancels += cluster.Broker.ReconcileReservations()
+	clock.Advance(72 * time.Hour) // expire surviving offers and sessions
+	cluster.Broker.ExpireDue()
+	res.ReconciledCancels += cluster.Broker.ReconcileReservations()
+
+	res.Checks++
+	record("post-drain", invariant.CheckAll(cluster.Broker, clock.Now(), cluster.Pool))
+	record("post-drain", invariant.CheckReservations(cluster.Broker, cluster.GARA,
+		invariant.ReservationCheck{Final: true}))
+
+	for si, alloc := range cluster.Broker.Allocators() {
+		plan := alloc.Plan()
+		if users := alloc.GuaranteedUsers(); len(users) != 0 {
+			return res, fmt.Errorf("capacity leaked: shard %d: %d guaranteed grant(s) survive the drain: %v",
+				si, len(users), users)
+		}
+		if got := alloc.AvailableGuaranteed(); !got.Equal(plan.Guaranteed) {
+			return res, fmt.Errorf("capacity lost: shard %d guaranteed headroom %v after drain, want %v",
+				si, got, plan.Guaranteed)
+		}
+	}
+
+	if res.Requested > 0 {
+		res.AdmitRate = float64(res.Admitted) / float64(res.Requested)
+	}
+	lifecycle := func(event string) int64 {
+		return int64(cfg.Obs.Counter("gqosm_broker_lifecycle_total",
+			"SLA lifecycle events by kind", "event", event).Value())
+	}
+	res.Degradations = lifecycle("degrade")
+	res.Restorations = lifecycle("restore")
+	res.Retries, res.Timeouts, res.Unavailable = cluster.Broker.RetryStats()
+	res.FaultsInjected = inj.Total()
+	res.FaultsByKind = inj.CountsByKind()
+	res.VirtualP95MS = inj.VirtualP95MS()
+	return res, nil
+}

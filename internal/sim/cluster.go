@@ -11,6 +11,7 @@ import (
 
 	"gqosm/internal/clockx"
 	"gqosm/internal/core"
+	"gqosm/internal/faultx"
 	"gqosm/internal/gara"
 	"gqosm/internal/gram"
 	"gqosm/internal/mds"
@@ -46,6 +47,18 @@ type ClusterConfig struct {
 	// Obs receives the cluster's metrics; nil lets the broker create a
 	// private registry (reachable via Cluster.Obs).
 	Obs *obs.Registry
+	// Faults, when non-nil, is installed on every substrate (GARA
+	// managers, NRM, GRAM) and on the broker's RM-facing call sites.
+	// Nil assembles the historical fault-free cluster.
+	Faults *faultx.Injector
+	// RMPolicy bounds the broker's RM-facing calls; the zero value is
+	// the historical single direct attempt.
+	RMPolicy core.RetryPolicy
+	// Clock, when non-nil, drives the cluster instead of a fresh manual
+	// clock at the Epoch. The chaos harness passes the clock its fault
+	// injector was built on, so crash-recovery windows and session
+	// lifecycles advance together.
+	Clock *clockx.Manual
 }
 
 // Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
@@ -65,7 +78,10 @@ type Cluster struct {
 
 // NewCluster assembles a cluster at the Epoch.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	clock := clockx.NewManual(Epoch)
+	clock := cfg.Clock
+	if clock == nil {
+		clock = clockx.NewManual(Epoch)
+	}
 	total := cfg.Plan.Total()
 	pool := resource.NewPool("machine", total)
 
@@ -74,7 +90,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		netMgr *nrm.Manager
 	)
 	g := gara.NewSystem()
-	g.RegisterManager(gara.NewComputeManager(pool))
+	g.RegisterManager(gara.WrapManager(gara.NewComputeManager(pool), cfg.Faults))
 	if cfg.WithNetwork {
 		topo = nrm.NewTopology()
 		for _, d := range []struct{ name, cidr string }{
@@ -93,7 +109,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		netMgr = nrm.NewManager("site-a", topo)
-		g.RegisterManager(gara.NewNetworkManager(netMgr))
+		netMgr.InjectFaults(cfg.Faults)
+		g.RegisterManager(gara.WrapManager(gara.NewNetworkManager(netMgr), cfg.Faults))
 	}
 
 	reg := registry.New(clock)
@@ -128,6 +145,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	gramM := gram.NewManager(clock)
+	gramM.InjectFaults(cfg.Faults)
 
 	broker, err := core.NewBroker(core.Config{
 		Domain:           "site-a",
@@ -142,6 +160,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		MinOptimizerGain: cfg.MinOptimizerGain,
 		Shards:           cfg.Shards,
 		Obs:              cfg.Obs,
+		Faults:           cfg.Faults,
+		RMPolicy:         cfg.RMPolicy,
 	})
 	if err != nil {
 		return nil, err

@@ -14,7 +14,15 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"gqosm/internal/faultx"
 )
+
+// ErrTransport wraps transport-level failures (connection refused,
+// reset, injected faults on the wire): the request may or may not have
+// reached the server, so callers may retry idempotent operations.
+// SOAP faults are NOT transport errors — they are definitive answers.
+var ErrTransport = errors.New("soapx: transport error")
 
 // Namespace constants.
 const (
@@ -116,6 +124,11 @@ type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]HandlerFunc
 	http     map[string]http.Handler
+
+	// Faults injects server-side failures ahead of SOAP dispatch (site
+	// "soapx.server"); nil injects nothing. Set at assembly time,
+	// before the mux serves requests.
+	Faults *faultx.Injector
 }
 
 // NewMux returns an empty mux.
@@ -184,12 +197,20 @@ func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.RLock()
 	h, ok := m.handlers[name]
+	inj := m.Faults
 	m.mu.RUnlock()
 	if !ok {
 		writeFault(w, http.StatusBadRequest, "Client", "no handler for "+name, "")
 		return
 	}
-	resp, err := h(inner)
+	var resp any
+	err = inj.Do("soapx.server", func() error {
+		r, herr := h(inner)
+		if herr == nil {
+			resp = r
+		}
+		return herr
+	})
 	if err != nil {
 		writeFault(w, http.StatusInternalServerError, "Server", err.Error(), "")
 		return
@@ -221,27 +242,33 @@ type Client struct {
 	HTTPClient *http.Client
 	// Endpoint is the service URL.
 	Endpoint string
+	// Faults injects client-side transport failures (site
+	// "soapx.client"); nil injects nothing.
+	Faults *faultx.Injector
 }
 
 // Call sends request (marshaled into an envelope) and decodes the response
-// body into response. SOAP faults are returned as *Fault errors.
+// body into response. SOAP faults are returned as *Fault errors;
+// transport-level failures wrap ErrTransport.
 func (c *Client) Call(request, response any) error {
 	data, err := Marshal(request)
 	if err != nil {
 		return err
 	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Post(c.Endpoint, ContentType, bytes.NewReader(data))
-	if err != nil {
-		return fmt.Errorf("soapx: post %s: %w", c.Endpoint, err)
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return fmt.Errorf("soapx: read response: %w", err)
-	}
-	return Unmarshal(out, response)
+	return c.Faults.Do("soapx.client", func() error {
+		hc := c.HTTPClient
+		if hc == nil {
+			hc = http.DefaultClient
+		}
+		resp, err := hc.Post(c.Endpoint, ContentType, bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("soapx: post %s: %w (%v)", c.Endpoint, ErrTransport, err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		if err != nil {
+			return fmt.Errorf("soapx: read response: %w (%v)", ErrTransport, err)
+		}
+		return Unmarshal(out, response)
+	})
 }
