@@ -1,0 +1,258 @@
+// Command benchdiff is the benchmark-regression gate behind CI's
+// bench-regression job: it parses `go test -bench` output, reduces the
+// -count repetitions of each benchmark to medians, and compares ns/op
+// and allocs/op against a committed JSON baseline with a tolerance
+// band. It needs nothing outside the standard library, so CI can `go
+// run` it from a clean checkout.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem -count=5 ./... | tee bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new bench.txt
+//	go run ./cmd/benchdiff -new bench.txt -write-baseline BENCH_baseline.json
+//
+// The comparison fails (exit 1) when any baseline benchmark is missing
+// from the new output, or when its new median exceeds the baseline by
+// more than -tolerance (default 0.15) on either metric. Improvements
+// are reported but never fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchStat is one benchmark's median metrics.
+type BenchStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Samples     int     `json:"samples"`
+}
+
+// Baseline is the committed BENCH_baseline.json document.
+type Baseline struct {
+	// Note reminds readers that numbers are runner-specific.
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSerialAdmission-8  200  31132 ns/op  8231 B/op  88 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines survive runner
+// core-count changes. B/op and allocs/op require -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+type samples struct {
+	ns, bytes, allocs []float64
+}
+
+// parseBench collects per-benchmark samples from -bench output.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		s := out[name]
+		if s == nil {
+			s = &samples{}
+			out[name] = s
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad B/op in %q: %w", sc.Text(), err)
+			}
+			s.bytes = append(s.bytes, b)
+		}
+		if m[4] != "" {
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.allocs = append(s.allocs, a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// median returns the middle sample (mean of the two central ones for
+// even counts); 0 for no samples.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// reduce turns raw samples into median stats.
+func reduce(raw map[string]*samples) map[string]BenchStat {
+	out := make(map[string]BenchStat, len(raw))
+	for name, s := range raw {
+		out[name] = BenchStat{
+			NsPerOp:     median(s.ns),
+			AllocsPerOp: median(s.allocs),
+			BytesPerOp:  median(s.bytes),
+			Samples:     len(s.ns),
+		}
+	}
+	return out
+}
+
+// compare checks new medians against the baseline. Every baseline
+// benchmark must be present in the new results and stay within
+// base*(1+tolerance) on ns/op and allocs/op. It returns the human
+// report and the list of failures.
+func compare(base Baseline, fresh map[string]BenchStat, tolerance float64) (string, []string) {
+	var sb strings.Builder
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(&sb, "%-34s %14s %14s %8s   %14s %14s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δ", "base allocs", "new allocs", "Δ")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		n, ok := fresh[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new results", name))
+			fmt.Fprintf(&sb, "%-34s %14.0f %14s\n", name, b.NsPerOp, "MISSING")
+			continue
+		}
+		nsDelta := delta(b.NsPerOp, n.NsPerOp)
+		allocDelta := delta(b.AllocsPerOp, n.AllocsPerOp)
+		fmt.Fprintf(&sb, "%-34s %14.0f %14.0f %+7.1f%%   %14.0f %14.0f %+7.1f%%\n",
+			name, b.NsPerOp, n.NsPerOp, nsDelta*100, b.AllocsPerOp, n.AllocsPerOp, allocDelta*100)
+		if b.NsPerOp > 0 && n.NsPerOp > b.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+				name, nsDelta*100, b.NsPerOp, n.NsPerOp, tolerance*100))
+		}
+		if b.AllocsPerOp > 0 && n.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+				name, allocDelta*100, b.AllocsPerOp, n.AllocsPerOp, tolerance*100))
+		}
+	}
+	return sb.String(), failures
+}
+
+func delta(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (new - base) / base
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
+		newPath      = flag.String("new", "", "go test -bench output to evaluate (required)")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative regression on ns/op and allocs/op")
+		writeBase    = flag.String("write-baseline", "", "write the new medians to this baseline file instead of comparing")
+		outPath      = flag.String("out", "", "also write the comparison report to this file")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	raw, err := parseBench(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found in", *newPath)
+		os.Exit(2)
+	}
+	fresh := reduce(raw)
+
+	if *writeBase != "" {
+		doc := Baseline{
+			Note: "Medians from `go test -bench -benchmem -benchtime=200x -count=5` on the CI runner. " +
+				"Runner-specific: refresh with cmd/benchdiff -write-baseline after intentional performance changes (see README).",
+			Benchmarks: fresh,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*writeBase, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d benchmark medians to %s\n", len(fresh), *writeBase)
+		return
+	}
+
+	bf, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(bf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	report, failures := compare(base, fresh, *tolerance)
+	fmt.Print(report)
+	if *outPath != "" {
+		full := report
+		if len(failures) > 0 {
+			full += "\nREGRESSIONS:\n  " + strings.Join(failures, "\n  ") + "\n"
+		} else {
+			full += "\nwithin tolerance\n"
+		}
+		if err := os.WriteFile(*outPath, []byte(full), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "\nbenchdiff: benchmark regressions:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, " ", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *tolerance*100)
+}

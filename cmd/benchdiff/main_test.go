@@ -1,0 +1,132 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gqosm/internal/core
+cpu: Test CPU
+BenchmarkSerialAdmission-8   	     200	     30000 ns/op	    8000 B/op	      88 allocs/op
+BenchmarkSerialAdmission-8   	     200	     32000 ns/op	    8100 B/op	      88 allocs/op
+BenchmarkSerialAdmission-8   	     200	     31000 ns/op	    8050 B/op	      90 allocs/op
+BenchmarkDiscovery-8         	     200	       250.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDiscovery-8         	     200	       251.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	gqosm/internal/core	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	raw, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(raw))
+	}
+	s := raw["BenchmarkSerialAdmission"]
+	if s == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if len(s.ns) != 3 || len(s.allocs) != 3 || len(s.bytes) != 3 {
+		t.Fatalf("sample counts = %d/%d/%d, want 3/3/3", len(s.ns), len(s.allocs), len(s.bytes))
+	}
+	d := raw["BenchmarkDiscovery"]
+	if d == nil || len(d.ns) != 2 {
+		t.Fatalf("fractional ns/op lines not parsed: %+v", d)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{30000, 32000, 31000}, 31000},
+		{[]float64{1, 2, 3, 4}, 2.5},
+	} {
+		if got := median(tc.in); got != tc.want {
+			t.Errorf("median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	raw, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := reduce(raw)
+	s := stats["BenchmarkSerialAdmission"]
+	if s.NsPerOp != 31000 {
+		t.Errorf("ns/op median = %v, want 31000", s.NsPerOp)
+	}
+	if s.AllocsPerOp != 88 {
+		t.Errorf("allocs/op median = %v, want 88", s.AllocsPerOp)
+	}
+	if s.Samples != 3 {
+		t.Errorf("samples = %d, want 3", s.Samples)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkC": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkD": {NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	fresh := map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 1100, AllocsPerOp: 100}, // within 15%
+		"BenchmarkB": {NsPerOp: 1200, AllocsPerOp: 100}, // ns/op regression
+		"BenchmarkC": {NsPerOp: 900, AllocsPerOp: 120},  // allocs regression
+		// BenchmarkD missing
+		"BenchmarkE": {NsPerOp: 1, AllocsPerOp: 1}, // extra: ignored
+	}
+	report, failures := compare(base, fresh, 0.15)
+	if len(failures) != 3 {
+		t.Fatalf("failures = %v, want 3 entries", failures)
+	}
+	for _, want := range []string{"BenchmarkB: ns/op regressed", "BenchmarkC: allocs/op regressed", "BenchmarkD: missing"} {
+		found := false
+		for _, f := range failures {
+			if strings.HasPrefix(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no failure starting with %q in %v", want, failures)
+		}
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Error("report does not flag the missing benchmark")
+	}
+	// Improvements never fail.
+	_, ok := compare(base, map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkB": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkC": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkD": {NsPerOp: 500, AllocsPerOp: 50},
+	}, 0.15)
+	if len(ok) != 0 {
+		t.Errorf("improvements reported as failures: %v", ok)
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	// A zero-alloc baseline cannot use the relative band; it must not
+	// fail on equal zeros (cache-hit benchmarks live at 0 allocs/op).
+	base := Baseline{Benchmarks: map[string]BenchStat{
+		"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	_, failures := compare(base, map[string]BenchStat{
+		"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0},
+	}, 0.15)
+	if len(failures) != 0 {
+		t.Errorf("zero-alloc benchmark failed: %v", failures)
+	}
+}

@@ -57,15 +57,24 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "emit -parallel/-chaos results as JSON")
 		chaos      = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
 		faultRate  = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
+		cache      = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var disableCaches bool
+	switch *cache {
+	case "on":
+	case "off":
+		disableCaches = true
+	default:
+		return fmt.Errorf("bad -cache value %q (want on or off)", *cache)
 	}
 	if *chaos {
 		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *jsonOut)
 	}
 	if *parallel {
-		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut)
+		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut, disableCaches)
 	}
 
 	runners := map[string]func(int64, bool) error{
@@ -104,16 +113,18 @@ func run(args []string) error {
 // registry so the serial baseline's counters do not pollute the parallel
 // run's. The JSON form is the shape recorded in BENCH_parallel.json (see
 // README.md "Benchmark artifact").
-func runParallel(clients, ops, phases, shards int, seed int64, jsonOut bool) error {
+func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableCaches bool) error {
 	serialObs, parObs := obs.NewRegistry(), obs.NewRegistry()
 	serial, err := sim.RunParallel(sim.ParallelConfig{
 		Clients: 1, Ops: ops, Phases: phases, Seed: seed, Obs: serialObs,
+		DisableCaches: disableCaches,
 	})
 	if err != nil {
 		return fmt.Errorf("serial baseline: %w", err)
 	}
 	par, err := sim.RunParallel(sim.ParallelConfig{
 		Clients: clients, Ops: ops, Phases: phases, Seed: seed, Shards: shards, Obs: parObs,
+		DisableCaches: disableCaches,
 	})
 	if err != nil {
 		return fmt.Errorf("parallel stress: %w", err)
@@ -138,6 +149,9 @@ func runParallel(clients, ops, phases, shards int, seed int64, jsonOut bool) err
 			row.r.Admitted, row.r.Terminated, row.r.Checks, row.r.OpsPerSec)
 		fmt.Printf("%-9s admission latency p50=%.4fms p95=%.4fms p99=%.4fms over %.1fms\n",
 			"", row.r.AdmitP50MS, row.r.AdmitP95MS, row.r.AdmitP99MS, row.r.ElapsedMS)
+		if row.r.CacheHitRate > 0 {
+			fmt.Printf("%-9s discovery cache hit rate %.1f%%\n", "", row.r.CacheHitRate*100)
+		}
 		if row.r.Shards > 1 {
 			fmt.Printf("%-9s shard sessions=%v load=%v\n", "", row.r.ShardSessions, row.r.ShardUtilization)
 		}

@@ -369,7 +369,7 @@ func attachJobs(gramM *gram.Manager, sched *dsrt.Scheduler, adapter *core.DSRTAd
 	var mu sync.Mutex
 	contracts := make(map[gram.JobID]dsrt.PID)
 	gramM.Subscribe(func(j gram.Job) {
-		node, err := rsl.Parse(j.Spec)
+		node, err := rsl.ParseCached(j.Spec)
 		if err != nil {
 			return
 		}

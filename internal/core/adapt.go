@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gqosm/internal/resource"
 )
@@ -115,6 +116,98 @@ type Allocator struct {
 	floors     map[string]resource.Capacity
 	bestEffort []beAlloc
 	nextSeq    int
+
+	// view is the atomically published read snapshot: every mutator
+	// recomputes it under mu just before unlocking, so read methods
+	// (Snapshot, Utilization, LoadFactor, AvailableGuaranteed,
+	// AdmissionBound, AvailableBestEffort, Coverage, Offline) serve
+	// lock-free without ever contending with admissions. The values are
+	// computed by the same locked helpers the admission path uses — a
+	// full recomputation, never an incremental float sum — so a
+	// happens-after read returns bit-identical results to the locked
+	// path (the post-drain exact-equality checks depend on this).
+	//
+	// Admission decisions themselves (AllocateGuaranteed and friends)
+	// still read the authoritative state under mu; the view only feeds
+	// advisory reads — placement ranking, quality pre-clamping, metric
+	// gauges — whose outcomes admission re-validates under the lock.
+	view atomic.Pointer[allocView]
+}
+
+// allocView is one immutable published snapshot of every derived
+// read-side quantity. [3]PoolUsage keeps the whole view in a single
+// allocation.
+type allocView struct {
+	pools       [3]PoolUsage // G, A, B — the Snapshot() rows
+	utilization resource.Capacity
+	loadFactor  float64
+	availG      resource.Capacity
+	bound       resource.Capacity
+	availBE     resource.Capacity
+	coverage    resource.Capacity
+	offline     resource.Capacity
+}
+
+// publishLocked recomputes and atomically publishes the read view.
+// Callers must hold a.mu; every mutating operation calls it after its
+// last state change so the published view is never stale with respect
+// to a happens-after reader.
+func (a *Allocator) publishLocked() {
+	v := &allocView{offline: a.offline}
+
+	gEff := a.effectiveGLocked()
+	gDemand := a.gDemandLocked()
+	bound := a.gBoundLocked()
+	be := a.beUsedLocked()
+
+	// Snapshot rows (see Snapshot for the accounting rule).
+	gInG := gDemand.Min(gEff)
+	gInA := a.adaptiveUsedLocked()
+	beInB := be.Min(a.plan.BestEffort)
+	rem := be.Sub(beInB).ClampMin(resource.Capacity{})
+	freeG := gEff.Sub(gInG).ClampMin(resource.Capacity{})
+	beInG := rem.Min(freeG)
+	beInA := rem.Sub(beInG).ClampMin(resource.Capacity{})
+	v.pools = [3]PoolUsage{
+		{Pool: "G", Capacity: a.plan.Guaranteed, Offline: a.offline, Guaranteed: gInG, BestEffort: beInG},
+		{Pool: "A", Capacity: a.plan.Adaptive, Guaranteed: gInA, BestEffort: beInA},
+		{Pool: "B", Capacity: a.plan.BestEffort, BestEffort: beInB},
+	}
+
+	// Utilization: used / online per dimension.
+	online := a.plan.Total().Sub(a.offline)
+	used := gDemand.Add(be)
+	for _, k := range resource.Kinds {
+		if online.Get(k) > resource.Epsilon {
+			v.utilization = v.utilization.With(k, used.Get(k)/online.Get(k))
+		}
+	}
+
+	// Load factor: max over dimensions of demand / bound.
+	for _, k := range resource.Kinds {
+		if bk := bound.Get(k); bk > resource.Epsilon {
+			if f := gDemand.Get(k) / bk; f > v.loadFactor {
+				v.loadFactor = f
+			}
+		}
+	}
+
+	v.availG = bound.Sub(gDemand).ClampMin(resource.Capacity{})
+	v.bound = bound
+	v.availBE = a.beAvailableLocked().Sub(be).ClampMin(resource.Capacity{})
+
+	// Coverage: min(1, deliverable / demand) per dimension.
+	deliverable := gEff.Add(a.plan.Adaptive)
+	v.coverage = resource.Capacity{CPU: 1, MemoryMB: 1, DiskGB: 1, BandwidthMbps: 1}
+	for _, k := range resource.Kinds {
+		if d := gDemand.Get(k); d > resource.Epsilon {
+			if ratio := deliverable.Get(k) / d; ratio < 1 {
+				v.coverage = v.coverage.With(k, ratio)
+			}
+		}
+	}
+
+	a.view.Store(v)
 }
 
 // NewAllocator returns an allocator over the given plan.
@@ -122,11 +215,13 @@ func NewAllocator(plan CapacityPlan) (*Allocator, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &Allocator{
+	a := &Allocator{
 		plan:       plan,
 		guaranteed: make(map[string]resource.Capacity),
 		floors:     make(map[string]resource.Capacity),
-	}, nil
+	}
+	a.publishLocked() // no concurrency yet; publish the idle view
+	return a, nil
 }
 
 // Plan returns the partition.
@@ -142,14 +237,14 @@ func (a *Allocator) SetOffline(c resource.Capacity) []Preemption {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.offline = c.Min(a.plan.Guaranteed).ClampMin(resource.Capacity{})
-	return a.rebalanceLocked()
+	out := a.rebalanceLocked()
+	a.publishLocked()
+	return out
 }
 
 // Offline returns the currently failed capacity.
 func (a *Allocator) Offline() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.offline
+	return a.view.Load().offline
 }
 
 // effectiveG returns C_G minus failed capacity.
@@ -254,6 +349,7 @@ func (a *Allocator) AllocateGuaranteed(user string, requested, floor resource.Ca
 	a.guaranteed[user] = res.Granted
 	a.floors[user] = floor
 	res.Preempted = a.rebalanceLocked()
+	a.publishLocked()
 	return res, nil
 }
 
@@ -267,6 +363,7 @@ func (a *Allocator) ReleaseGuaranteed(user string) error {
 	}
 	delete(a.guaranteed, user)
 	delete(a.floors, user)
+	a.publishLocked()
 	return nil
 }
 
@@ -286,6 +383,7 @@ func (a *Allocator) AllocateBestEffort(user string, requested resource.Capacity)
 	}
 	a.nextSeq++
 	a.bestEffort = append(a.bestEffort, beAlloc{user: user, granted: requested, seq: a.nextSeq})
+	a.publishLocked()
 	return nil
 }
 
@@ -306,6 +404,7 @@ func (a *Allocator) ReleaseBestEffort(user string) error {
 	if !found {
 		return fmt.Errorf("%w: best-effort %q", ErrUnknownUser, user)
 	}
+	a.publishLocked()
 	return nil
 }
 
@@ -378,42 +477,16 @@ func (u PoolUsage) Free() resource.Capacity {
 // per-pool g/b rows of the §5.6 measurement list: at t0, best-effort
 // demand of 11 shows as 5 in B, 5 in idle G, 1 in A).
 func (a *Allocator) Snapshot() []PoolUsage {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-
-	gEff := a.effectiveGLocked()
-	gDemand := a.gDemandLocked()
-	gInG := gDemand.Min(gEff)
-	gInA := a.adaptiveUsedLocked()
-
-	be := a.beUsedLocked()
-	beInB := be.Min(a.plan.BestEffort)
-	rem := be.Sub(beInB).ClampMin(resource.Capacity{})
-	freeG := gEff.Sub(gInG).ClampMin(resource.Capacity{})
-	beInG := rem.Min(freeG)
-	beInA := rem.Sub(beInG).ClampMin(resource.Capacity{})
-
-	return []PoolUsage{
-		{Pool: "G", Capacity: a.plan.Guaranteed, Offline: a.offline, Guaranteed: gInG, BestEffort: beInG},
-		{Pool: "A", Capacity: a.plan.Adaptive, Guaranteed: gInA, BestEffort: beInA},
-		{Pool: "B", Capacity: a.plan.BestEffort, BestEffort: beInB},
-	}
+	v := a.view.Load()
+	out := make([]PoolUsage, len(v.pools))
+	copy(out, v.pools[:])
+	return out
 }
 
 // Utilization returns total allocated capacity divided by online capacity,
 // per dimension (dimensions with zero capacity report zero).
 func (a *Allocator) Utilization() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	online := a.plan.Total().Sub(a.offline)
-	used := a.gDemandLocked().Add(a.beUsedLocked())
-	var out resource.Capacity
-	for _, k := range resource.Kinds {
-		if online.Get(k) > resource.Epsilon {
-			out = out.With(k, used.Get(k)/online.Get(k))
-		}
-	}
-	return out
+	return a.view.Load().utilization
 }
 
 // GuaranteedAllocation returns the current grant for a guaranteed user.
@@ -443,9 +516,7 @@ func (a *Allocator) BestEffortAllocation(user string) (resource.Capacity, bool) 
 // demand — the Available_Guaranteed_Resource check against the admission
 // bound (see gBoundLocked).
 func (a *Allocator) AvailableGuaranteed() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.gBoundLocked().Sub(a.gDemandLocked()).ClampMin(resource.Capacity{})
+	return a.view.Load().availG
 }
 
 // AdmissionBound reports the ceiling for total guaranteed demand —
@@ -454,9 +525,7 @@ func (a *Allocator) AvailableGuaranteed() resource.Capacity {
 // compensation frees: the placement layer uses this to skip hopeless
 // shards.
 func (a *Allocator) AdmissionBound() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.gBoundLocked()
+	return a.view.Load().bound
 }
 
 // LoadFactor reports how full the guaranteed partition is: the maximum
@@ -464,26 +533,12 @@ func (a *Allocator) AdmissionBound() resource.Capacity {
 // allocator and ≥ 1 when some dimension is saturated. The placement layer
 // ranks shards by it.
 func (a *Allocator) LoadFactor() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	bound := a.gBoundLocked()
-	demand := a.gDemandLocked()
-	load := 0.0
-	for _, k := range resource.Kinds {
-		if bk := bound.Get(k); bk > resource.Epsilon {
-			if f := demand.Get(k) / bk; f > load {
-				load = f
-			}
-		}
-	}
-	return load
+	return a.view.Load().loadFactor
 }
 
 // AvailableBestEffort reports the headroom for new best-effort demand.
 func (a *Allocator) AvailableBestEffort() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.beAvailableLocked().Sub(a.beUsedLocked()).ClampMin(resource.Capacity{})
+	return a.view.Load().availBE
 }
 
 // Coverage returns, per dimension, the fraction of granted guaranteed
@@ -493,20 +548,7 @@ func (a *Allocator) AvailableBestEffort() resource.Capacity {
 // can absorb — the condition SLA-Verif reports as measured QoS below the
 // agreed level.
 func (a *Allocator) Coverage() resource.Capacity {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	deliverable := a.effectiveGLocked().Add(a.plan.Adaptive)
-	demand := a.gDemandLocked()
-	out := resource.Capacity{CPU: 1, MemoryMB: 1, DiskGB: 1, BandwidthMbps: 1}
-	for _, k := range resource.Kinds {
-		if d := demand.Get(k); d > resource.Epsilon {
-			ratio := deliverable.Get(k) / d
-			if ratio < 1 {
-				out = out.With(k, ratio)
-			}
-		}
-	}
-	return out
+	return a.view.Load().coverage
 }
 
 // GuaranteedUsers returns the guaranteed users sorted by name.

@@ -64,6 +64,12 @@ type Config struct {
 	// Registry performs service discovery; nil skips discovery (the
 	// request's Service name is taken at face value).
 	Registry Finder
+	// DisableCaches turns the hot-path discovery cache off, restoring a
+	// registry Find on every admission. The cache only engages when
+	// Registry implements Generation() uint64 (the in-process registry
+	// does; the SOAP client does not), so this is a diagnostic/benchmark
+	// switch, not a correctness one.
+	DisableCaches bool
 	// GARA performs resource reservations (required).
 	GARA *gara.System
 	// GRAM runs services; nil disables Invoke.
@@ -194,6 +200,13 @@ type Broker struct {
 	evBuf   []Event
 	evNext  int   // index the next event is written to
 	evTotal int64 // events ever logged, including evicted ones
+	// evSnap caches the flattened, oldest-first snapshot Events() built
+	// last time, valid while evTotal == evSnapTotal. It is immutable once
+	// built — logf never writes into it, only into evBuf — so Events()
+	// can hand it out shared instead of copying the whole ring on every
+	// call (the invariant oracle reads it after every mutating op).
+	evSnap      []Event
+	evSnapTotal int64
 
 	// debugMu guards debugHook, the optional post-operation invariant
 	// check installed by SetDebugHook.
@@ -208,6 +221,12 @@ type Broker struct {
 	// its retry budget, kept for ReconcileReservations. A leaf lock.
 	pcMu           sync.Mutex
 	pendingCancels map[sla.ID]gara.Handle
+
+	// dcache is the generation-stamped discovery cache (see
+	// discovery_cache.go); nil when discovery is uncacheable (no
+	// registry, a registry without a generation counter, or
+	// Config.DisableCaches).
+	dcache *discoveryCache
 }
 
 // NewBroker assembles a broker from the config.
@@ -261,6 +280,11 @@ func NewBroker(cfg Config) (*Broker, error) {
 		pendingCancels: make(map[sla.ID]gara.Handle),
 	}
 	b.pol = newPolicyRunner(b, cfg.RMPolicy)
+	if !cfg.DisableCaches {
+		if gf, ok := cfg.Registry.(generationFinder); ok {
+			b.dcache = newDiscoveryCache(gf, cfg.Obs)
+		}
+	}
 	for i, plan := range cfg.Plan.Split(cfg.Shards) {
 		alloc, err := NewAllocator(plan)
 		if err != nil {
@@ -318,15 +342,25 @@ func (b *Broker) Repo() sla.Repository { return b.repo }
 // Events returns the retained activity log, oldest first. The log is a
 // bounded ring (Config.EventLogCap): under sustained load the oldest
 // entries are evicted; EventsTotal reports how many were ever logged.
+// The returned slice is a shared immutable snapshot — callers must not
+// modify it. Repeated calls with no intervening events return the same
+// snapshot without copying the ring again.
 func (b *Broker) Events() []Event {
 	b.evMu.Lock()
 	defer b.evMu.Unlock()
+	if b.evSnap != nil && b.evSnapTotal == b.evTotal {
+		return b.evSnap
+	}
 	out := make([]Event, 0, len(b.evBuf))
 	if len(b.evBuf) < cap(b.evBuf) {
-		return append(out, b.evBuf...)
+		out = append(out, b.evBuf...)
+	} else {
+		out = append(out, b.evBuf[b.evNext:]...)
+		out = append(out, b.evBuf[:b.evNext]...)
 	}
-	out = append(out, b.evBuf[b.evNext:]...)
-	return append(out, b.evBuf[:b.evNext]...)
+	b.evSnap = out
+	b.evSnapTotal = b.evTotal
+	return out
 }
 
 // EventsTotal returns how many activity-log events were ever logged,

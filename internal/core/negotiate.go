@@ -109,10 +109,13 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	if b.closed.Load() {
 		return nil, ErrClosed
 	}
+	// The floor is read by discovery, placement and admission; compute it
+	// once here instead of re-deriving it from the spec at every layer.
+	floor := req.Spec.Floor()
 	b.logf("discovery", "", "client %q requests %q class=%s spec floor %v",
-		req.Client, req.Service, req.Class, req.Spec.Floor())
+		req.Client, req.Service, req.Class, floor)
 
-	key, err := b.discover(req)
+	key, err := b.discover(req, floor)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +133,10 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 		}
 		return id
 	}
-	order := b.placementOrder(req.ShardHint, req.Spec.Floor())
+	order := b.placementOrder(req.ShardHint, floor)
 	var lastErr error
 	for _, sh := range order {
-		offer, err := b.requestOnShard(sh, req, key, ensureID)
+		offer, err := b.requestOnShard(sh, req, key, floor, ensureID)
 		if err == nil {
 			return offer, nil
 		}
@@ -155,7 +158,7 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 // with scenario-1 compensation on the shard's own sessions, GARA
 // reservation, and session registration under the shard lock. ensureID
 // issues the global SLA ID on first use.
-func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensureID func() sla.ID) (*Offer, error) {
+func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor resource.Capacity, ensureID func() sla.ID) (*Offer, error) {
 	// Choose the proposed quality: guaranteed gets the exact request;
 	// controlled-load gets the best level currently free, never below
 	// the floor.
@@ -165,7 +168,7 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensure
 		// raises below-floor dimensions back to the floor, in which case
 		// admission relies on scenario-1 compensation below.
 		quality = req.Spec.Clamp(quality.Min(sh.alloc.AvailableGuaranteed()))
-		quality = quality.Max(req.Spec.Floor())
+		quality = quality.Max(floor)
 	}
 
 	// Budget: degrade controlled-load quality toward the floor until the
@@ -175,7 +178,7 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensure
 		if req.Class == sla.ClassGuaranteed {
 			return nil, fmt.Errorf("%w: price %.2f > budget %.2f", ErrOverBudget, price, req.Budget)
 		}
-		quality = req.Spec.Floor()
+		quality = floor
 		price = b.prices.Cost(req.Class, quality)
 		if price > req.Budget {
 			return nil, fmt.Errorf("%w: floor price %.2f > budget %.2f", ErrOverBudget, price, req.Budget)
@@ -183,7 +186,6 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensure
 	}
 
 	id := ensureID()
-	floor := req.Spec.Floor()
 
 	// Capacity admission via Algorithm 1, with scenario-1 compensation
 	// on failure.
@@ -296,27 +298,31 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, ensure
 
 // discover queries the registry for services matching the request's name
 // and QoS floor (the UDDIe property search of §2.1). With no registry
-// configured the request is accepted as-is.
-func (b *Broker) discover(req Request) (registry.Key, error) {
+// configured the request is accepted as-is. When the discovery cache is
+// live a repeated (service, floor) query is answered from it — skipping
+// the registry Find and the per-request Query rebuild (including the
+// trimFloat rendering of every filter value) entirely; errors and empty
+// result sets always fall through, so they behave identically on the
+// cached and uncached paths.
+func (b *Broker) discover(req Request, floor resource.Capacity) (registry.Key, error) {
 	if b.cfg.Registry == nil {
 		return "", nil
 	}
-	q := registry.Query{NamePattern: req.Service}
-	floor := req.Spec.Floor()
-	for _, pair := range []struct {
-		prop string
-		kind resource.Kind
-	}{
-		{"cpu-nodes", resource.CPU},
-		{"memory-mb", resource.MemoryMB},
-		{"disk-gb", resource.DiskGB},
-		{"bandwidth-mbps", resource.BandwidthMbps},
-	} {
-		if v := floor.Get(pair.kind); v > 0 {
-			q.Filters = append(q.Filters, registry.Filter{
-				Name: pair.prop, Op: registry.OpGe, Value: trimFloat(v),
-			})
+	dk := discoveryKeyFor(req.Service, floor)
+	var (
+		q   registry.Query
+		gen uint64
+	)
+	if b.dcache != nil {
+		if key, ok := b.dcache.lookup(dk, b.clock.Now()); ok {
+			return key, nil
 		}
+		// Miss: reuse the prebuilt query of any stale entry, and read the
+		// generation before the Find (see discoveryCache.generation).
+		q = b.dcache.queryFor(dk)
+		gen = b.dcache.generation()
+	} else {
+		q = buildDiscoveryQuery(dk)
 	}
 	matches, err := b.cfg.Registry.Find(q)
 	if err != nil {
@@ -324,6 +330,15 @@ func (b *Broker) discover(req Request) (registry.Key, error) {
 	}
 	if len(matches) == 0 {
 		return "", fmt.Errorf("%w: %q with %v", ErrNoService, req.Service, floor)
+	}
+	if b.dcache != nil {
+		b.dcache.store(dk, &discoveryEntry{
+			query:      q,
+			key:        matches[0].Key,
+			name:       matches[0].Name,
+			leaseUntil: matches[0].LeaseUntil,
+			gen:        gen,
+		})
 	}
 	b.logf("discovery", "", "registry returned %d matching service(s); selected %q",
 		len(matches), matches[0].Name)
@@ -590,38 +605,62 @@ func (b *Broker) newSLAID() sla.ID {
 // capacity: a compute part for CPU/memory/disk and a network part for
 // bandwidth, combined into a multirequest when both are present.
 func reservationRSL(spec sla.Spec, alloc resource.Capacity, tag string) string {
-	var parts []string
 	_, hasCPU := spec.Params[resource.CPU]
 	_, hasMem := spec.Params[resource.MemoryMB]
 	_, hasDisk := spec.Params[resource.DiskGB]
-	if hasCPU || hasMem || hasDisk {
-		p := `&(reservation-type="compute")`
+	compute := hasCPU || hasMem || hasDisk
+	_, network := spec.Params[resource.BandwidthMbps]
+	if !compute && !network {
+		return "+" // empty multirequest; specs are validated before this
+	}
+	multi := compute && network
+
+	// One preallocated buffer, appended in place: this renders on every
+	// admission, renegotiation, and compensation, so it must not pay for
+	// fmt's reflection or intermediate part strings.
+	buf := make([]byte, 0, 160)
+	if multi {
+		buf = append(buf, '+', '(')
+	}
+	if compute {
+		buf = append(buf, `&(reservation-type="compute")`...)
 		if hasCPU {
-			p += fmt.Sprintf("(count=%s)", trimFloat(alloc.CPU))
+			buf = append(buf, "(count="...)
+			buf = strconv.AppendFloat(buf, alloc.CPU, 'f', -1, 64)
+			buf = append(buf, ')')
 		}
 		if hasMem {
-			p += fmt.Sprintf("(memory=%s)", trimFloat(alloc.MemoryMB))
+			buf = append(buf, "(memory="...)
+			buf = strconv.AppendFloat(buf, alloc.MemoryMB, 'f', -1, 64)
+			buf = append(buf, ')')
 		}
 		if hasDisk {
-			p += fmt.Sprintf("(disk=%s)", trimFloat(alloc.DiskGB))
+			buf = append(buf, "(disk="...)
+			buf = strconv.AppendFloat(buf, alloc.DiskGB, 'f', -1, 64)
+			buf = append(buf, ')')
 		}
-		p += fmt.Sprintf("(label=%q)", tag)
-		parts = append(parts, p)
+		buf = append(buf, "(label="...)
+		buf = strconv.AppendQuote(buf, tag)
+		buf = append(buf, ')')
+		if multi {
+			buf = append(buf, ')', '(')
+		}
 	}
-	if _, ok := spec.Params[resource.BandwidthMbps]; ok {
-		parts = append(parts, fmt.Sprintf(
-			`&(reservation-type="network")(source-ip=%q)(dest-ip=%q)(bandwidth=%s)(label=%q)`,
-			spec.SourceIP, spec.DestIP, trimFloat(alloc.BandwidthMbps), tag))
+	if network {
+		buf = append(buf, `&(reservation-type="network")(source-ip=`...)
+		buf = strconv.AppendQuote(buf, spec.SourceIP)
+		buf = append(buf, ")(dest-ip="...)
+		buf = strconv.AppendQuote(buf, spec.DestIP)
+		buf = append(buf, ")(bandwidth="...)
+		buf = strconv.AppendFloat(buf, alloc.BandwidthMbps, 'f', -1, 64)
+		buf = append(buf, ")(label="...)
+		buf = strconv.AppendQuote(buf, tag)
+		buf = append(buf, ')')
 	}
-	if len(parts) == 1 {
-		return parts[0]
+	if multi {
+		buf = append(buf, ')')
 	}
-	var sb strings.Builder
-	sb.WriteByte('+')
-	for _, p := range parts {
-		sb.WriteString("(" + p + ")")
-	}
-	return sb.String()
+	return string(buf)
 }
 
 func nonEmpty(s, def string) string {

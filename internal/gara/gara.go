@@ -216,7 +216,7 @@ func (s *System) Create(reqRSL string, start, end time.Time, tag string) (Handle
 }
 
 func (s *System) create(reqRSL string, start, end time.Time, tag string) (Handle, error) {
-	node, err := rsl.Parse(reqRSL)
+	node, err := rsl.ParseCached(reqRSL)
 	if err != nil {
 		return "", fmt.Errorf("gara: %w", err)
 	}
@@ -226,10 +226,8 @@ func (s *System) create(reqRSL string, start, end time.Time, tag string) (Handle
 		rmType string
 		token  string
 	}
-	var (
-		parts    []part
-		managers []ResourceManager
-	)
+	parts := make([]part, 0, len(subs))
+	managers := make([]ResourceManager, 0, len(subs))
 	rollback := func() {
 		for i, p := range parts {
 			_ = managers[i].Cancel(p.token)
@@ -371,7 +369,7 @@ func (s *System) Cancel(h Handle) error {
 // routed to the manager already holding that part; adding or removing
 // resource types requires Cancel + Create instead.
 func (s *System) Modify(h Handle, newRSL string) error {
-	node, err := rsl.Parse(newRSL)
+	node, err := rsl.ParseCached(newRSL)
 	if err != nil {
 		return fmt.Errorf("gara: %w", err)
 	}

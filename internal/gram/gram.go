@@ -187,7 +187,7 @@ func (m *Manager) Submit(spec string) (Job, error) {
 }
 
 func (m *Manager) submit(spec string) (Job, error) {
-	node, err := rsl.Parse(spec)
+	node, err := rsl.ParseCached(spec)
 	if err != nil {
 		return Job{}, fmt.Errorf("gram: bad RSL: %w", err)
 	}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gqosm/internal/clockx"
@@ -176,6 +177,14 @@ type Query struct {
 type Registry struct {
 	clock clockx.Clock
 
+	// gen counts mutations (Register, Deregister, Renew, and Sweeps that
+	// removed something). Readers that cache Find results key their
+	// entries on it: an unchanged generation means the registered set —
+	// including every lease — is exactly as it was. Lease *expiry* is
+	// time-based and does not bump the generation; cache layers must
+	// check their selected service's LeaseUntil themselves.
+	gen atomic.Uint64
+
 	mu       sync.Mutex
 	nextID   int
 	services map[Key]*Service
@@ -202,6 +211,7 @@ func (r *Registry) Register(s Service) (Key, error) {
 	r.nextID++
 	s.Key = Key(fmt.Sprintf("svc-%04d", r.nextID))
 	r.services[s.Key] = s.clone()
+	r.gen.Add(1)
 	return s.Key, nil
 }
 
@@ -213,6 +223,7 @@ func (r *Registry) Deregister(k Key) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, k)
 	}
 	delete(r.services, k)
+	r.gen.Add(1)
 	return nil
 }
 
@@ -225,6 +236,7 @@ func (r *Registry) Renew(k Key, until time.Time) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, k)
 	}
 	s.LeaseUntil = until
+	r.gen.Add(1)
 	return nil
 }
 
@@ -300,8 +312,18 @@ func (r *Registry) Sweep() int {
 			n++
 		}
 	}
+	if n > 0 {
+		r.gen.Add(1)
+	}
 	return n
 }
+
+// Generation returns the registry's mutation counter. It increases on
+// every Register, Deregister and Renew, and on Sweeps that removed at
+// least one registration; it never decreases. Two Find calls bracketing
+// an unchanged generation observe the same registered set (modulo
+// time-based lease expiry — see the gen field).
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // Len reports the number of registrations (including expired ones not yet
 // swept).

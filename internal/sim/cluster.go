@@ -44,6 +44,9 @@ type ClusterConfig struct {
 	// domain; N > 1 splits the plan into N per-shard allocators behind the
 	// placement layer).
 	Shards int
+	// DisableCaches forwarded to the broker: turns the hot-path caches
+	// (discovery) off for A/B measurement. Default off = caches on.
+	DisableCaches bool
 	// Obs receives the cluster's metrics; nil lets the broker create a
 	// private registry (reachable via Cluster.Obs).
 	Obs *obs.Registry
@@ -159,6 +162,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		ConfirmWindow:    cfg.ConfirmWindow,
 		MinOptimizerGain: cfg.MinOptimizerGain,
 		Shards:           cfg.Shards,
+		DisableCaches:    cfg.DisableCaches,
 		Obs:              cfg.Obs,
 		Faults:           cfg.Faults,
 		RMPolicy:         cfg.RMPolicy,

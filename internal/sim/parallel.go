@@ -43,6 +43,9 @@ type ParallelConfig struct {
 	Shards int
 	// Obs receives the run's metrics; nil creates a private registry.
 	Obs *obs.Registry
+	// DisableCaches turns the broker's hot-path caches off for the run
+	// (the gridsim -cache=off ablation). Default off = caches on.
+	DisableCaches bool
 }
 
 // ParallelResult reports a RunParallel run.
@@ -80,6 +83,10 @@ type ParallelResult struct {
 	// ShardUtilization is each shard's guaranteed-partition load factor at
 	// the same sample point (max over dimensions of demand / bound).
 	ShardUtilization []float64 `json:"shard_utilization,omitempty"`
+	// CacheHitRate is hits / (hits + misses) of the discovery cache over
+	// the run. Omitted when the cache saw no traffic (disabled runs keep
+	// the historical schema).
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // parClient is one goroutine client's deterministic schedule and local
@@ -127,7 +134,8 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
-	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Shards: cfg.Shards, Obs: cfg.Obs})
+	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Shards: cfg.Shards, Obs: cfg.Obs,
+		DisableCaches: cfg.DisableCaches})
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +196,15 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	res.AdmitP50MS = admit.Quantile(0.50) * 1e3
 	res.AdmitP95MS = admit.Quantile(0.95) * 1e3
 	res.AdmitP99MS = admit.Quantile(0.99) * 1e3
+	// Same trick for the discovery-cache counters (Counter.Value is
+	// nil-safe, so a cache-disabled run reads zeros).
+	hits := cfg.Obs.Counter("gqosm_discovery_cache_hits_total",
+		"Discovery queries answered from the generation-stamped cache").Value()
+	misses := cfg.Obs.Counter("gqosm_discovery_cache_misses_total",
+		"Discovery queries that fell through to a registry Find").Value()
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
 
 	// Drain everything and verify no capacity was lost or double-spent.
 	cluster.Broker.NotifyFailure(resource.Capacity{})

@@ -1,0 +1,94 @@
+package soapx
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+type poolPayload struct {
+	A string `xml:"a"`
+	B int    `xml:"b"`
+}
+
+// TestMarshalAllocGate is the deterministic allocation gate for the
+// pooled SOAP encode path. The pooled buffer eliminates the envelope
+// scratch copies; the remaining allocations are the xml.Encoder's own
+// bookkeeping plus the returned slice. A regression that reintroduces
+// an intermediate []byte or drops pooling pushes this past the gate.
+func TestMarshalAllocGate(t *testing.T) {
+	p := &poolPayload{A: "hello", B: 42}
+	// Warm the pool so the steady state is measured.
+	if _, err := Marshal(p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Marshal(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const gate = 10
+	if allocs > gate {
+		t.Errorf("Marshal allocates %.1f objects per call, gate is %d", allocs, gate)
+	}
+}
+
+// TestMarshalConcurrentPooling hammers Marshal from many goroutines:
+// pooled buffers must never leak one caller's bytes into another's
+// output.
+func TestMarshalConcurrentPooling(t *testing.T) {
+	want, err := Marshal(&poolPayload{A: "stable", B: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mine, err := Marshal(&poolPayload{A: "stable", B: 7})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 500; i++ {
+				// Interleave other payload shapes to churn the pool.
+				if _, err := Marshal(&poolPayload{A: "other", B: id*1000 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := Marshal(&poolPayload{A: "stable", B: 7})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("pooled Marshal output corrupted:\ngot  %s\nwant %s", got, want)
+					return
+				}
+				if !bytes.Equal(mine, want) {
+					t.Error("previously returned slice mutated by later Marshal calls")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMarshalErrorDiscardsBuffer checks that a failed encode does not
+// poison the pool with a partial document.
+func TestMarshalErrorDiscardsBuffer(t *testing.T) {
+	// Channels are not XML-serializable; Encode fails after the envelope
+	// prefix was already written to the pooled buffer.
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("Marshal of a channel succeeded")
+	}
+	out, err := Marshal(&poolPayload{A: "clean", B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(out, []byte("<soap:Envelope")); n != 1 {
+		t.Errorf("output holds %d envelope starts, want 1:\n%s", n, out)
+	}
+}

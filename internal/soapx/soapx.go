@@ -54,18 +54,50 @@ type body struct {
 	Inner []byte `xml:",innerxml"`
 }
 
-// Marshal wraps the XML encoding of payload in a SOAP envelope.
-func Marshal(payload any) ([]byte, error) {
-	inner, err := xml.Marshal(payload)
-	if err != nil {
-		return nil, fmt.Errorf("soapx: marshal body: %w", err)
+// bufPool recycles envelope scratch buffers across requests. Buffers
+// that grew past maxPooledBuf are dropped rather than pinned in the
+// pool by one oversized payload.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 64 << 10
+
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
 	}
-	var buf bytes.Buffer
+}
+
+// marshalBuf writes payload's SOAP envelope into buf, encoding the body
+// element straight into the buffer — no intermediate []byte. On error
+// buf holds a partial document and must be discarded or reset.
+func marshalBuf(buf *bytes.Buffer, payload any) error {
 	buf.WriteString(xml.Header)
 	buf.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body>`)
-	buf.Write(inner)
+	if err := xml.NewEncoder(buf).Encode(payload); err != nil {
+		return fmt.Errorf("soapx: marshal body: %w", err)
+	}
 	buf.WriteString(`</soap:Body></soap:Envelope>`)
-	return buf.Bytes(), nil
+	return nil
+}
+
+// Marshal wraps the XML encoding of payload in a SOAP envelope. The
+// returned slice is freshly allocated and owned by the caller; the
+// server path writes from a pooled buffer instead (see ServeHTTP).
+func Marshal(payload any) ([]byte, error) {
+	buf := getBuf()
+	if err := marshalBuf(buf, payload); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	putBuf(buf)
+	return out, nil
 }
 
 // bodyElement returns the local name of the first element inside the Body
@@ -215,25 +247,29 @@ func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusInternalServerError, "Server", err.Error(), "")
 		return
 	}
-	out, err := Marshal(resp)
-	if err != nil {
+	buf := getBuf()
+	if err := marshalBuf(buf, resp); err != nil {
+		putBuf(buf)
 		writeFault(w, http.StatusInternalServerError, "Server", "marshal response", err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", ContentType)
-	_, _ = w.Write(out)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func writeFault(w http.ResponseWriter, status int, code, msg, detail string) {
 	f := Fault{Code: "soap:" + code, String: msg, Detail: detail}
-	out, err := Marshal(&f)
-	if err != nil {
+	buf := getBuf()
+	if err := marshalBuf(buf, &f); err != nil {
+		putBuf(buf)
 		http.Error(w, msg, status)
 		return
 	}
 	w.Header().Set("Content-Type", ContentType)
 	w.WriteHeader(status)
-	_, _ = w.Write(out)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 // Client calls SOAP endpoints.

@@ -1,0 +1,73 @@
+package xmlmsg
+
+import (
+	"bytes"
+	"testing"
+
+	"gqosm/internal/sla"
+	"gqosm/internal/soapx"
+)
+
+// benchOffer is a representative broker reply: a full SLA with compute
+// and network QoS, priced, with a confirmation deadline.
+func benchOffer() *ServiceOfferXML {
+	return &ServiceOfferXML{
+		SLA: sla.ServiceSLAXML{
+			SLAID:   "site-a-sla-0042",
+			Service: "simulation",
+			Class:   "Guaranteed",
+			Spec: &sla.ServiceSpecificXML{
+				CPU:    "10 nodes",
+				Memory: "2048 MB",
+				Disk:   "15 GB",
+				Network: &sla.NetworkQoS{
+					SourceIP:  "10.10.3.4",
+					DestIP:    "192.200.168.33",
+					Bandwidth: "45 Mbps",
+				},
+			},
+			Price: "12.5",
+		},
+		Price:   12.5,
+		Expires: "2003-06-16T09:02:00Z",
+		Domain:  "site-a",
+	}
+}
+
+// BenchmarkOfferEncode measures the service-offer reply path: the SOAP
+// envelope around the broker's offer document, as ServeHTTP sends it.
+func BenchmarkOfferEncode(b *testing.B) {
+	offer := benchOffer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := soapx.Marshal(offer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOfferEncodeWellFormed pins the envelope shape the benchmark
+// exercises: the pooled encoder must produce the same document as a
+// plain xml.Marshal wrapped in the envelope.
+func TestOfferEncodeWellFormed(t *testing.T) {
+	out, err := soapx.Marshal(benchOffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<soap:Envelope", "<soap:Body>", "<service_offer>",
+		"<SLA-ID>site-a-sla-0042</SLA-ID>", "<Bandwidth>45 Mbps</Bandwidth>",
+		"</service_offer>", "</soap:Body></soap:Envelope>",
+	} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("marshaled offer missing %q in:\n%s", want, out)
+		}
+	}
+	var back ServiceOfferXML
+	if err := soapx.Unmarshal(out, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.SLA.SLAID != "site-a-sla-0042" || back.Price != 12.5 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+}

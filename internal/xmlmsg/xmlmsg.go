@@ -9,6 +9,7 @@ package xmlmsg
 import (
 	"encoding/xml"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -108,8 +109,9 @@ type BestEffortRequestXML struct {
 // EncodeRequest converts broker-level request fields to the wire form.
 // (The core package converts back; this package stays dependency-light.)
 func EncodeSpec(spec sla.Spec) []QoSParamXML {
-	var out []QoSParamXML
-	for _, k := range spec.Kinds() {
+	kinds := spec.Kinds()
+	out := make([]QoSParamXML, 0, len(kinds))
+	for _, k := range kinds {
 		p := spec.Params[k]
 		x := QoSParamXML{Name: k.String()}
 		switch p.Form {
@@ -196,6 +198,5 @@ func kindOf(name string) (resource.Kind, error) {
 }
 
 func trimFloat(f float64) string {
-	s := fmt.Sprintf("%g", f)
-	return s
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
