@@ -18,6 +18,9 @@
 //	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
 //	gridsim -parallel -shards 4               # same, against a 4-shard broker
 //	gridsim -chaos -seed 7 -faultrate 0.2     # deterministic fault-injection replay
+//	gridsim -scenario list                    # the workload scenario catalog
+//	gridsim -scenario flash-crowd -seed 7     # replay one scenario, gate on its report
+//	gridsim -scenario all -soak -json         # soak every scenario, emit BENCH_scenarios.json
 package main
 
 import (
@@ -58,6 +61,8 @@ func run(args []string) error {
 		chaos      = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
 		faultRate  = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
 		cache      = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
+		scenario   = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
+		soak       = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +74,12 @@ func run(args []string) error {
 		disableCaches = true
 	default:
 		return fmt.Errorf("bad -cache value %q (want on or off)", *cache)
+	}
+	if *scenario != "" {
+		return runScenarios(*scenario, *soak, *seed, *ops, *shards, *jsonOut)
+	}
+	if *soak {
+		return fmt.Errorf("-soak needs -scenario")
 	}
 	if *chaos {
 		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *jsonOut)
@@ -200,6 +211,113 @@ func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, j
 			res.InvariantViolations, res.Violations)
 	}
 	return nil
+}
+
+// runScenarios replays one scenario (or all of them) and gates on the
+// reports: any oracle violation, failed scenario assertion, or — in soak
+// mode — instability verdict exits non-zero, after the report has been
+// emitted so CI always has an artifact. The -json form of `-scenario
+// all` is the shape recorded in BENCH_scenarios.json (see README.md
+// "Scenario artifact"): an object keyed by scenario name. Only the
+// "latency" and "soak" blocks are wall-clock derived; everything else is
+// byte-identical per (scenario, seed, shards, ops).
+func runScenarios(name string, soak bool, seed int64, ops, shards int, jsonOut bool) error {
+	if name == "list" {
+		header("SCENARIOS", "workload scenario catalog")
+		for _, sc := range sim.Scenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.About)
+		}
+		return nil
+	}
+	var list []sim.Scenario
+	if name == "all" {
+		list = sim.Scenarios()
+	} else {
+		sc, ok := sim.LookupScenario(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -scenario list)", name)
+		}
+		list = []sim.Scenario{sc}
+	}
+
+	cfg := sim.ScenarioConfig{Seed: seed, Ops: ops, Shards: shards}
+	reports := make(map[string]any, len(list))
+	var failures []string
+	for _, sc := range list {
+		var (
+			rep    any
+			failed bool
+			err    error
+		)
+		if soak {
+			var r *sim.SoakReport
+			r, err = sim.RunSoak(sc, sim.SoakConfig{ScenarioConfig: cfg})
+			rep, failed = r, r != nil && r.Failed()
+		} else {
+			var r *sim.ScenarioReport
+			r, err = sim.RunScenario(sc, cfg)
+			rep, failed = r, r != nil && r.Failed()
+		}
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		reports[sc.Name] = rep
+		if failed {
+			failures = append(failures, sc.Name)
+		}
+	}
+
+	if jsonOut {
+		var out []byte
+		var err error
+		if name == "all" {
+			out, err = json.MarshalIndent(reports, "", "  ")
+		} else {
+			out, err = json.MarshalIndent(reports[list[0].Name], "", "  ")
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		mode := "scenario"
+		if soak {
+			mode = "soak"
+		}
+		header("SCENARIO", fmt.Sprintf("workload %s replay (seed %d, ops %d, shards %d)", mode, seed, ops, shards))
+		for _, sc := range list {
+			switch r := reports[sc.Name].(type) {
+			case *sim.ScenarioReport:
+				printScenarioSummary(r)
+			case *sim.SoakReport:
+				printScenarioSummary(&r.ScenarioReport)
+				s := r.Soak
+				fmt.Printf("%-12s soak: windows=%d goroutines=%d->%d heap=%d->%d bytes p99 %.3f->%.3fms stable=%v\n",
+					"", len(s.Windows), s.GoroutinesStart, s.GoroutinesMax,
+					s.HeapBaseBytes, s.HeapMaxBytes, s.P99FirstHalfMS, s.P99LastHalfMS, s.Stable)
+				for _, p := range s.Problems {
+					fmt.Printf("%-12s   problem: %s\n", "", p)
+				}
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("scenario(s) failed their gates: %s", strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+func printScenarioSummary(r *sim.ScenarioReport) {
+	fmt.Printf("%-12s arrivals=%-6d ops=%-7d admitted=%d/%d (%.1f%%) expired=%d reneg=%d/%d degraded=%d restored=%d revenue=%.2f checks=%d violations=%d verify_errors=%d\n",
+		r.Scenario, r.Arrivals, r.Ops, r.Admitted, r.Requested, 100*r.AdmitRate,
+		r.ExpiredOffers, r.Renegotiations-r.RenegFailures, r.Renegotiations,
+		r.Degradations, r.Restorations, r.Revenue, r.Checks, r.InvariantViolations, len(r.VerifyErrors))
+	for _, v := range r.Violations {
+		fmt.Printf("%-12s   violation: %s\n", "", v)
+	}
+	for _, e := range r.VerifyErrors {
+		fmt.Printf("%-12s   verify: %s\n", "", e)
+	}
 }
 
 func header(id, title string) {

@@ -121,3 +121,78 @@ func TestParallelModeJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioList(t *testing.T) {
+	out, err := runCapture(t, "-scenario", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range sim.Scenarios() {
+		if !strings.Contains(out, sc.Name) {
+			t.Fatalf("catalog missing %q:\n%s", sc.Name, out)
+		}
+	}
+}
+
+func TestScenarioModeJSON(t *testing.T) {
+	out, err := runCapture(t, "-scenario", "diurnal", "-seed", "1", "-ops", "2000", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r sim.ScenarioReport
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if r.Scenario != "diurnal" || r.Seed != 1 || r.Ops == 0 || r.Checks == 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	if r.InvariantViolations != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}
+
+func TestScenarioAllJSONKeyedByName(t *testing.T) {
+	out, err := runCapture(t, "-scenario", "all", "-seed", "1", "-ops", "2000", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports map[string]*sim.ScenarioReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	for _, sc := range sim.Scenarios() {
+		r := reports[sc.Name]
+		if r == nil {
+			t.Fatalf("missing %q in report map", sc.Name)
+		}
+		if r.Requested == 0 || r.Checks == 0 {
+			t.Fatalf("%s degenerate: %+v", sc.Name, r)
+		}
+	}
+}
+
+func TestScenarioSoakJSON(t *testing.T) {
+	out, err := runCapture(t, "-scenario", "lease-churn", "-soak", "-seed", "1", "-ops", "8000", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r sim.SoakReport
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if r.Soak == nil || len(r.Soak.Windows) == 0 {
+		t.Fatalf("soak block missing: %s", out)
+	}
+	if !r.Soak.Stable {
+		t.Fatalf("unstable: %+v", r.Soak.Problems)
+	}
+}
+
+func TestScenarioArgumentErrors(t *testing.T) {
+	if _, err := runCapture(t, "-scenario", "nosuch"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := runCapture(t, "-soak"); err == nil {
+		t.Fatal("-soak without -scenario accepted")
+	}
+}

@@ -6,7 +6,7 @@
 package clockx
 
 import (
-	"sort"
+	"container/heap"
 	"sync"
 	"time"
 )
@@ -51,11 +51,20 @@ func (rt realTimer) Stop() bool { return rt.t.Stop() }
 // is called. Timers scheduled with After/AfterFunc fire synchronously (in
 // timestamp order) during Advance. The zero value is not usable; call
 // NewManual.
+//
+// Pending timers live in a binary min-heap ordered by (deadline, creation
+// id), so scheduling and firing are O(log n) each. The soak harness keeps
+// millions of timers flowing through one clock over a run; the previous
+// sort-the-whole-slice-per-pop queue made every Advance O(n log n) and
+// dominated long-run profiles. Stopped timers are unlinked lazily when
+// they surface at the heap root; stops counts them so PendingTimers stays
+// exact without a sweep.
 type Manual struct {
 	mu      sync.Mutex
 	now     time.Time
 	nextID  int
-	pending []*manualTimer
+	pending timerHeap
+	stops   int // stopped timers still sitting in the heap
 }
 
 // NewManual returns a Manual clock whose current time is start.
@@ -69,6 +78,42 @@ type manualTimer struct {
 	at      time.Time
 	f       func(now time.Time)
 	stopped bool
+	index   int // heap position, -1 once popped
+}
+
+// timerHeap orders pending timers by deadline, ties broken by creation
+// order — exactly the firing order the sort-based queue guaranteed.
+type timerHeap []*manualTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].id < h[j].id
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	mt := x.(*manualTimer)
+	mt.index = len(*h)
+	*h = append(*h, mt)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	mt := old[n-1]
+	old[n-1] = nil
+	mt.index = -1
+	*h = old[:n-1]
+	return mt
 }
 
 func (mt *manualTimer) Stop() bool {
@@ -78,6 +123,9 @@ func (mt *manualTimer) Stop() bool {
 		return false
 	}
 	mt.stopped = true
+	if mt.index >= 0 {
+		mt.clock.stops++
+	}
 	return true
 }
 
@@ -107,7 +155,7 @@ func (m *Manual) schedule(d time.Duration, f func(now time.Time)) *manualTimer {
 	defer m.mu.Unlock()
 	m.nextID++
 	mt := &manualTimer{clock: m, id: m.nextID, at: m.now.Add(d), f: f}
-	m.pending = append(m.pending, mt)
+	heap.Push(&m.pending, mt)
 	return mt
 }
 
@@ -141,46 +189,35 @@ func (m *Manual) Set(t time.Time) {
 
 // popDue removes and returns the earliest unstopped timer with deadline
 // ≤ target, moving the clock to that deadline; it returns nil when none
-// remain.
+// remain. Stopped timers surfacing at the root are discarded on the way.
 func (m *Manual) popDue(target time.Time) *manualTimer {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	live := m.pending[:0]
-	for _, mt := range m.pending {
-		if !mt.stopped {
-			live = append(live, mt)
+	for len(m.pending) > 0 {
+		mt := m.pending[0]
+		if mt.stopped {
+			heap.Pop(&m.pending)
+			m.stops--
+			continue
 		}
-	}
-	m.pending = live
-	sort.SliceStable(m.pending, func(i, j int) bool {
-		if !m.pending[i].at.Equal(m.pending[j].at) {
-			return m.pending[i].at.Before(m.pending[j].at)
+		if mt.at.After(target) {
+			return nil
 		}
-		return m.pending[i].id < m.pending[j].id
-	})
-	if len(m.pending) == 0 || m.pending[0].at.After(target) {
-		return nil
+		heap.Pop(&m.pending)
+		mt.stopped = true
+		if mt.at.After(m.now) {
+			m.now = mt.at
+		}
+		return mt
 	}
-	mt := m.pending[0]
-	m.pending = m.pending[1:]
-	mt.stopped = true
-	if mt.at.After(m.now) {
-		m.now = mt.at
-	}
-	return mt
+	return nil
 }
 
 // PendingTimers reports how many unfired, unstopped timers are scheduled.
 func (m *Manual) PendingTimers() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for _, mt := range m.pending {
-		if !mt.stopped {
-			n++
-		}
-	}
-	return n
+	return len(m.pending) - m.stops
 }
 
 var _ Clock = (*Manual)(nil)

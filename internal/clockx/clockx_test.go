@@ -181,3 +181,71 @@ func TestRealClockAfter(t *testing.T) {
 		t.Fatal("Real().After never fired")
 	}
 }
+
+// TestManualHeapFiringOrderAtScale drives thousands of interleaved
+// schedules, stops and advances and checks the heap queue fires in exact
+// (deadline, creation) order — the property the soak harness's
+// determinism rests on.
+func TestManualHeapFiringOrderAtScale(t *testing.T) {
+	c := NewManual(t0)
+	const n = 5000
+	type fired struct {
+		at time.Time
+		id int
+	}
+	var got []fired
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		// Deliberately colliding deadlines: 500 distinct instants.
+		d := time.Duration(1+(i*7919)%500) * time.Second
+		timers = append(timers, c.AfterFunc(d, func() {
+			got = append(got, fired{at: c.Now(), id: i})
+		}))
+	}
+	// Stop every third timer before anything fires.
+	stopped := make(map[int]bool)
+	for i := 0; i < n; i += 3 {
+		timers[i].Stop()
+		stopped[i] = true
+	}
+	if want := n - len(stopped); c.PendingTimers() != want {
+		t.Fatalf("PendingTimers() = %d, want %d", c.PendingTimers(), want)
+	}
+	c.Advance(600 * time.Second)
+	if want := n - len(stopped); len(got) != want {
+		t.Fatalf("fired %d timers, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if cur.at.Before(prev.at) {
+			t.Fatalf("timer %d fired at %v after timer %d at %v", cur.id, cur.at, prev.id, prev.at)
+		}
+		if cur.at.Equal(prev.at) && cur.id < prev.id {
+			t.Fatalf("tie at %v broken out of creation order: %d before %d", cur.at, prev.id, cur.id)
+		}
+	}
+	for _, f := range got {
+		if stopped[f.id] {
+			t.Fatalf("stopped timer %d fired", f.id)
+		}
+	}
+	if c.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers() = %d after full advance, want 0", c.PendingTimers())
+	}
+}
+
+// TestManualStopAfterFireIsNoop covers the lazy-removal bookkeeping: a
+// timer stopped after it fired must not skew PendingTimers.
+func TestManualStopAfterFireIsNoop(t *testing.T) {
+	c := NewManual(t0)
+	timer := c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(time.Minute, func() {})
+	c.Advance(2 * time.Second)
+	if timer.Stop() {
+		t.Fatal("Stop() on a fired timer = true, want false")
+	}
+	if c.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers() = %d, want 1", c.PendingTimers())
+	}
+}

@@ -146,6 +146,9 @@ type session struct {
 	degraded bool
 	// violations counts detected SLA violations.
 	violations int
+	// proposedAt is when the offer was made; the lifecycle oracle's
+	// stale-proposal rule checks it against the confirm window.
+	proposedAt time.Time
 }
 
 // Broker is the AQoS broker: "the main focus of the system … required to
@@ -452,6 +455,9 @@ type SessionInfo struct {
 	Degraded   bool
 	Violations int
 	Handle     gara.Handle
+	// ProposedAt is when the offer was made (zero for sessions that
+	// predate the field's stamping site).
+	ProposedAt time.Time
 }
 
 // SessionInfos returns a snapshot of every session's internal state,
@@ -468,12 +474,55 @@ func (b *Broker) SessionInfos() []SessionInfo {
 				Degraded:   s.degraded,
 				Violations: s.violations,
 				Handle:     s.handle,
+				ProposedAt: s.proposedAt,
 			})
 		}
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// PruneTerminal removes terminal sessions — their shard map entries,
+// unclaimed promotion offers, routing-table rows and repository documents
+// — and returns how many it removed. Terminal sessions are normally kept
+// so they stay queryable; the soak harness calls this at quiesce points
+// so multi-million-op runs hold a bounded working set. Reservations
+// parked in pendingCancels are keyed independently, so reconciliation is
+// unaffected; pruned IDs simply become unknown to Session/SessionInfos.
+func (b *Broker) PruneTerminal() int {
+	pruned := 0
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		var ids []sla.ID
+		for id, s := range sh.sessions {
+			if s.doc.State.Terminal() {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			s := sh.sessions[id]
+			if s.confirm != nil {
+				s.confirm.Stop()
+			}
+			delete(sh.sessions, id)
+			delete(sh.promotions, id)
+		}
+		sh.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		b.routeMu.Lock()
+		for _, id := range ids {
+			delete(b.route, id)
+		}
+		b.routeMu.Unlock()
+		for _, id := range ids {
+			_ = b.repo.Delete(id)
+		}
+		pruned += len(ids)
+	}
+	return pruned
 }
 
 // logf appends to the activity log ring, evicting the oldest entry when

@@ -23,7 +23,7 @@ import (
 // driveOps decodes data as (op, arg) byte pairs and applies them to a
 // fresh single-site cluster, running invariant.CheckAll after each step.
 //
-// op%10 selects the operation, arg parameterizes it:
+// op%11 selects the operation, arg parameterizes it:
 //
 //	0..2  service request   arg bit0: guaranteed/controlled-load,
 //	                        bits1-3: CPU, bits4-6: duration, bit7: degrade-ok
@@ -34,6 +34,9 @@ import (
 //	7     advance clock     10 + arg minutes, then ExpireDue
 //	8     failure/recovery  arg bit0 chooses; bits1-3: failed nodes
 //	9     best-effort churn arg picks client and request/release; optimizer
+//	10    renegotiate       arg indexes the active set (low bits) and sets
+//	                        the new spec's width (high bits) — the
+//	                        reneg-storm squeeze/stretch cycle
 func driveOps(t *testing.T, data []byte) {
 	t.Helper()
 	cluster, err := sim.NewCluster(sim.ClusterConfig{Plan: sim.DefaultParallelPlan()})
@@ -56,7 +59,7 @@ func driveOps(t *testing.T, data []byte) {
 	}
 
 	for step := 0; step+1 < len(data); step += 2 {
-		op, arg := data[step]%10, data[step+1]
+		op, arg := data[step]%11, data[step+1]
 		switch {
 		case op <= 2: // new request
 			now := clock.Now()
@@ -121,6 +124,12 @@ func driveOps(t *testing.T, data []byte) {
 				_ = b.BestEffortRelease(client)
 			}
 			_, _ = b.RunOptimizer()
+		case op == 10: // renegotiate: squeeze or stretch a live session
+			if len(active) > 0 {
+				id := active[int(arg)%len(active)]
+				hi := 1 + float64((arg>>4)&7)
+				_, _ = b.Renegotiate(id, sla.NewSpec(sla.Range(resource.CPU, 1, hi)))
+			}
 		}
 
 		if err := invariant.CheckAll(b, clock.Now(), cluster.Pool); err != nil {
@@ -158,7 +167,7 @@ func driveShardedOps(t *testing.T, shards int, data []byte) {
 	}
 
 	for step := 0; step+2 < len(data); step += 3 {
-		op, arg, hint := data[step]%10, data[step+1], int(data[step+2])%(shards+1)
+		op, arg, hint := data[step]%11, data[step+1], int(data[step+2])%(shards+1)
 		switch {
 		case op <= 2: // new request, optionally pinned to a shard
 			now := clock.Now()
@@ -225,6 +234,12 @@ func driveShardedOps(t *testing.T, shards int, data []byte) {
 				_ = b.BestEffortRelease(client)
 			}
 			_, _ = b.RunOptimizer()
+		case op == 10: // renegotiate
+			if len(active) > 0 {
+				id := active[int(arg)%len(active)]
+				hi := 1 + float64((arg>>4)&7)
+				_, _ = b.Renegotiate(id, sla.NewSpec(sla.Range(resource.CPU, 1, hi)))
+			}
 		}
 
 		if err := invariant.CheckAll(b, clock.Now(), cluster.Pool); err != nil {
@@ -285,6 +300,19 @@ func FuzzBrokerOps(f *testing.F) {
 	// 4 shards, auto-placement vs pinned churn with the optimizer running.
 	f.Add([]byte{3, 0, 0x06, 0, 1, 0x85, 2, 0, 0x06, 3, 3, 0, 0, 9, 2, 0, 3, 0, 0, 7, 60, 0, 6, 0, 0})
 	f.Add(append([]byte{2}, seedStream(1789, 40)...))
+	// Reneg-storm shape: admit a pack of degrade-willing controlled-load
+	// sessions, then hammer them with alternating squeeze (narrow spec)
+	// and stretch (wide spec) renegotiations before tearing one down.
+	f.Add(append([]byte{0},
+		1, 0xa7, 1, 0xa5, 1, 0xa3, 3, 0, 3, 0, 3, 0,
+		10, 0x00, 10, 0x71, 10, 0x12, 10, 0x60, 10, 0x01,
+		6, 0, 10, 0x70, 10, 0x02))
+	// Lease-churn shape: short offers abandoned into expiry (op 7 sweeps
+	// the confirm window), immediately re-requested, accepted at the
+	// last index, and renegotiated right before time runs the lease out.
+	f.Add(append([]byte{0},
+		0, 0x12, 2, 0x14, 7, 0, 0, 0x12, 3, 1, 4, 0,
+		10, 0x30, 7, 120, 0, 0x16, 3, 0, 10, 0x20, 7, 200))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			data = data[:4096] // bound runtime per input

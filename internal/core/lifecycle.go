@@ -652,24 +652,47 @@ func (b *Broker) optimizeShard(sh *shard) (OptimizeOutcome, error) {
 		return out, nil
 	}
 
+	// The assignment fits the pool jointly, but it is applied one
+	// session at a time: an upgrade applied before the downsizes that
+	// fund it transiently over-demands the pool and collapses to a
+	// floor grant. Downsizes first keeps every intermediate state
+	// within capacity (stable sort preserves the id order within each
+	// half, so the pass stays deterministic).
+	sort.SliceStable(entries, func(i, j int) bool {
+		di := res.Assignment[entries[i].id].FitsIn(entries[i].alloc)
+		dj := res.Assignment[entries[j].id].FitsIn(entries[j].alloc)
+		return di && !dj
+	})
 	for _, e := range entries {
 		target := res.Assignment[e.id]
 		if target.Equal(e.alloc) {
 			continue
 		}
 		grant, err := b.allocateLive(e.id, target, e.spec.Floor())
-		if err != nil || !grant.Shortfall.IsZero() {
+		if err != nil {
 			continue // skip this session; others may still improve
 		}
-		if err := b.applyAllocation(e.id, e.handle, e.spec, target, true); err != nil {
+		applied := target
+		if !grant.Shortfall.IsZero() {
+			// The pool moved between solve and apply (a concurrent
+			// admission took the headroom) and only the floor was
+			// granted. AllocateGuaranteed has already replaced the
+			// session's grant, so the document must follow it — billing
+			// tracks delivered quality, exactly as in restore().
+			applied = grant.Granted
+			b.logf("optimize", e.id, "partial grant %v for target %v, document follows", applied, target)
+		}
+		if err := b.applyAllocation(e.id, e.handle, e.spec, applied, true); err != nil {
 			continue
 		}
 		sh.mu.Lock()
 		if s, ok := sh.sessions[e.id]; ok {
-			s.original = target
+			s.original = applied
 		}
 		sh.mu.Unlock()
-		out.Changed++
+		if !applied.Equal(e.alloc) {
+			out.Changed++
+		}
 	}
 	out.Applied = out.Changed > 0
 	return out, nil

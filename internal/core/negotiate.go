@@ -249,7 +249,7 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor 
 		State:     sla.StateProposed,
 	}
 	expires := b.clock.Now().Add(b.cfg.ConfirmWindow)
-	sess := &session{doc: doc, handle: handle, original: allocated}
+	sess := &session{doc: doc, handle: handle, original: allocated, proposedAt: b.clock.Now()}
 
 	// Install the route before the session: the confirm timer's expiry
 	// callback resolves the shard through it.

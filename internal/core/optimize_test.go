@@ -268,3 +268,88 @@ func TestOptServiceChoicesDefaultSteps(t *testing.T) {
 		t.Errorf("default choices = %v", levels)
 	}
 }
+
+// Regression: the optimizer's reallocation plan fits the pool jointly,
+// but it can only be applied if downsizes land before the upgrades they
+// fund. Applying an upgrade first transiently over-demands the pool;
+// AllocateGuaranteed then replaces the session's existing grant with
+// its floor, and skipping the document update on that partial grant
+// left allocator and document disagreeing (doc-allocator-skew).
+func TestOptimizerApplyKeepsDocAndAllocatorConsistent(t *testing.T) {
+	h := newHarness(t)
+	b := h.broker
+
+	admit := func(req Request) sla.ID {
+		t.Helper()
+		offer, err := b.RequestService(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Accept(offer.SLA.ID); err != nil {
+			t.Fatal(err)
+		}
+		return offer.SLA.ID
+	}
+	cl := func(client string, lo, hi float64) Request {
+		return Request{
+			Service: "simulation", Client: client,
+			Class:             sla.ClassControlledLoad,
+			Spec:              sla.NewSpec(sla.Range(resource.CPU, lo, hi)),
+			Start:             t0,
+			End:               t5,
+			AcceptDegradation: true,
+		}
+	}
+
+	// The guaranteed pool admits 15 CPU. The filler pins 3 of them.
+	filler := admit(Request{
+		Service: "simulation", Client: "filler",
+		Class: sla.ClassGuaranteed,
+		Spec:  sla.NewSpec(sla.Exact(resource.CPU, 3)),
+		Start: t0, End: t5,
+	})
+	// "narrow" is admitted at its best (4); "wide" takes the rest (8).
+	narrow := admit(cl("narrow", 2, 4))
+	wide := admit(cl("wide", 2, 8))
+
+	// Widen narrow's spec with zero headroom: its allocation stays at 4
+	// while the spec now reaches 14, so the next optimizer pass will
+	// want to upgrade it well past what is free.
+	res, err := b.Renegotiate(narrow, sla.NewSpec(sla.Range(resource.CPU, 2, 14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.New.CPU != 4 {
+		t.Fatalf("setup: renegotiated allocation = %v, want CPU 4", res.New)
+	}
+
+	// Terminating the filler frees 3 CPU and runs the scenario-2
+	// optimizer. Its plan: narrow 4→10, wide 8→4 — narrow's upgrade
+	// only fits after wide's downsize funds it.
+	if err := b.Terminate(filler, "done"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []sla.ID{narrow, wide} {
+		doc, err := b.Session(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, held := b.Allocator().GuaranteedAllocation(string(id))
+		if !held {
+			t.Fatalf("%s: live session has no allocator grant", id)
+		}
+		if !got.Equal(doc.Allocated) {
+			t.Errorf("%s: document says %v, allocator says %v", id, doc.Allocated, got)
+		}
+	}
+	// The reallocation itself must have gone through.
+	doc, _ := b.Session(narrow)
+	if doc.Allocated.CPU != 10 {
+		t.Errorf("narrow allocation = %v, want CPU 10", doc.Allocated)
+	}
+	doc, _ = b.Session(wide)
+	if doc.Allocated.CPU != 4 {
+		t.Errorf("wide allocation = %v, want CPU 4", doc.Allocated)
+	}
+}

@@ -456,6 +456,26 @@ func handleLess(a, b Handle) bool {
 	return a < b
 }
 
+// PruneCanceled removes canceled reservations from the table and returns
+// how many it removed. Canceled reservations are normally retained so
+// their handles stay resolvable (Get reports ErrCanceled rather than
+// ErrUnknownHandle); the soak harness prunes them at quiesce points so
+// multi-million-op runs hold a bounded working set. Callers must be past
+// any retry that might still Cancel a pruned handle — after pruning, such
+// a retry sees ErrUnknownHandle instead of the idempotent ErrCanceled.
+func (s *System) PruneCanceled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pruned := 0
+	for h, r := range s.res {
+		if r.Status == StatusCanceled {
+			delete(s.res, h)
+			pruned++
+		}
+	}
+	return pruned
+}
+
 // Reservations returns snapshots of all reservations ordered by handle.
 func (s *System) Reservations() []Reservation {
 	s.mu.Lock()

@@ -492,3 +492,39 @@ func TestStorageManagerCancel(t *testing.T) {
 		t.Errorf("pool holds %v after cancel", got)
 	}
 }
+
+func TestPruneCanceled(t *testing.T) {
+	pool := resource.NewPool("m", resource.Capacity{CPU: 16})
+	s := NewSystem()
+	s.RegisterManager(NewComputeManager(pool))
+	start := time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
+	end := start.Add(time.Hour)
+
+	h1, err := s.Create(`&(reservation-type="compute")(count=2)`, start, end, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Create(`&(reservation-type="compute")(count=2)`, start, end, "drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(h2); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.PruneCanceled(); got != 1 {
+		t.Fatalf("PruneCanceled = %d, want 1", got)
+	}
+	if got := s.PruneCanceled(); got != 0 {
+		t.Fatalf("second PruneCanceled = %d, want 0", got)
+	}
+	if _, err := s.Get(h2); !errors.Is(err, ErrUnknownHandle) {
+		t.Errorf("Get(pruned) = %v, want ErrUnknownHandle", err)
+	}
+	if r, err := s.Get(h1); err != nil || r.Status == StatusCanceled {
+		t.Errorf("live reservation disturbed: %v, %v", r, err)
+	}
+	if n := len(s.Reservations()); n != 1 {
+		t.Errorf("Reservations after prune = %d, want 1", n)
+	}
+}

@@ -233,6 +233,23 @@ func (m *Manager) submit(spec string) (Job, error) {
 	return job, nil
 }
 
+// PruneTerminal removes terminal jobs from the table and returns how
+// many it removed. Terminal jobs are normally retained so their final
+// state stays queryable; the soak harness prunes them at quiesce points
+// so multi-million-op runs hold a bounded working set.
+func (m *Manager) PruneTerminal() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pruned := 0
+	for id, st := range m.jobs {
+		if st.job.State.Terminal() {
+			delete(m.jobs, id)
+			pruned++
+		}
+	}
+	return pruned
+}
+
 // Cancel terminates a running job.
 func (m *Manager) Cancel(id JobID) error { return m.finish(id, StateCanceled, "canceled by client") }
 

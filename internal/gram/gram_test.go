@@ -209,3 +209,29 @@ func TestStateStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestPruneTerminalJobs(t *testing.T) {
+	clock := clockx.NewManual(time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC))
+	m := NewManager(clock)
+	defer m.Close()
+
+	keep, err := m.Submit(`&(executable="sim")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Submit(`&(executable="sim")(duration=60)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute) // completes the timed job
+
+	if got := m.PruneTerminal(); got != 1 {
+		t.Fatalf("PruneTerminal = %d, want 1", got)
+	}
+	if _, err := m.Job(done.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Job(pruned) = %v, want ErrUnknownJob", err)
+	}
+	if j, err := m.Job(keep.ID); err != nil || j.State != StateActive {
+		t.Errorf("running job disturbed: %v, %v", j, err)
+	}
+}

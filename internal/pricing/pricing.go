@@ -207,19 +207,73 @@ type Entry struct {
 
 // Ledger accumulates the provider's accounting (the "QoS Accounting"
 // function of Fig. 3). It is safe for concurrent use.
+//
+// Running totals (net revenue, per-kind sums) are maintained on every
+// Record, so NetRevenue and Total are O(1) however long the ledger gets —
+// the invariant oracle reads NetRevenue at every soak quiesce point, and
+// the historical fold-over-all-entries made that O(run length²).
+// Retention optionally bounds the entry list itself for long-run use;
+// the running totals stay exact across evictions.
 type Ledger struct {
 	mu      sync.Mutex
 	entries []Entry
+	// retain bounds len(entries); 0 keeps everything (the default).
+	retain int
+	// evicted counts entries dropped by retention.
+	evicted int64
+	// net is the running charges+promotions−penalties−refunds.
+	net float64
+	// totals accumulates per-kind amounts (always positive magnitudes).
+	totals map[EntryKind]float64
 }
 
 // NewLedger returns an empty ledger.
-func NewLedger() *Ledger { return &Ledger{} }
+func NewLedger() *Ledger { return &Ledger{totals: make(map[EntryKind]float64)} }
+
+// SetRetention bounds the retained entry list to the most recent n
+// records (0 restores unlimited retention). Aggregates — NetRevenue,
+// Total — are unaffected: they are running sums over every entry ever
+// recorded. Entries and BySLA only see what is retained.
+func (l *Ledger) SetRetention(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	l.retain = n
+	l.trimLocked()
+}
+
+func (l *Ledger) trimLocked() {
+	if l.retain <= 0 || len(l.entries) <= l.retain {
+		return
+	}
+	drop := len(l.entries) - l.retain
+	l.evicted += int64(drop)
+	kept := make([]Entry, l.retain, l.retain*2)
+	copy(kept, l.entries[drop:])
+	l.entries = kept
+}
 
 // Record appends an entry.
 func (l *Ledger) Record(e Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.totals == nil {
+		l.totals = make(map[EntryKind]float64)
+	}
+	switch e.Kind {
+	case EntryCharge, EntryPromotion:
+		l.net += e.Amount
+	case EntryPenalty, EntryRefund:
+		l.net -= e.Amount
+	}
+	l.totals[e.Kind] += e.Amount
 	l.entries = append(l.entries, e)
+	// Amortized trim: let the slice run to 2× the cap, then copy once.
+	if l.retain > 0 && len(l.entries) >= 2*l.retain {
+		l.trimLocked()
+	}
 }
 
 // Charge records client revenue for an SLA.
@@ -232,23 +286,32 @@ func (l *Ledger) Penalize(id sla.ID, amount float64, at time.Time, note string) 
 	l.Record(Entry{Kind: EntryPenalty, SLA: id, Amount: amount, At: at, Note: note})
 }
 
-// NetRevenue returns charges + promotions − penalties − refunds.
+// NetRevenue returns charges + promotions − penalties − refunds. It is a
+// running sum over every entry ever recorded (retention does not affect
+// it) and costs O(1).
 func (l *Ledger) NetRevenue() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	total := 0.0
-	for _, e := range l.entries {
-		switch e.Kind {
-		case EntryCharge, EntryPromotion:
-			total += e.Amount
-		case EntryPenalty, EntryRefund:
-			total -= e.Amount
-		}
-	}
-	return total
+	return l.net
+}
+
+// Total returns the accumulated amount recorded under kind, across every
+// entry ever recorded (retention does not affect it).
+func (l *Ledger) Total(kind EntryKind) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals[kind]
+}
+
+// Evicted reports how many entries retention has dropped.
+func (l *Ledger) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }
 
 // BySLA returns the net amount attributed to each SLA, sorted by ID.
+// Under retention it aggregates only the retained window.
 func (l *Ledger) BySLA() []struct {
 	SLA sla.ID
 	Net float64
@@ -280,7 +343,8 @@ func (l *Ledger) BySLA() []struct {
 	return out
 }
 
-// Entries returns a copy of all entries in insertion order.
+// Entries returns a copy of the retained entries in insertion order (all
+// entries when retention is off).
 func (l *Ledger) Entries() []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()

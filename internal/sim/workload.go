@@ -31,6 +31,17 @@ type Workload struct {
 	// DegradeWillingFrac is the fraction of negotiated sessions that
 	// accept degradation (scenario-1 volunteers).
 	DegradeWillingFrac float64
+	// Rate, when non-nil, makes arrivals a nonhomogeneous Poisson
+	// process: it returns the instantaneous rate (arrivals/hour) at an
+	// offset from trace start. Generation uses thinning — candidates
+	// arrive at RateMax and are kept with probability Rate(at)/RateMax —
+	// so RateMax must bound Rate from above everywhere (values above it
+	// are effectively clamped). Nil keeps the historical homogeneous
+	// process at ArrivalPerHour, drawing the exact same per-seed trace
+	// as before the field existed.
+	Rate func(at time.Duration) float64
+	// RateMax is the thinning bound; it defaults to ArrivalPerHour.
+	RateMax float64
 }
 
 func (w Workload) withDefaults() Workload {
@@ -63,15 +74,22 @@ type Arrival struct {
 func (w Workload) Trace() []Arrival {
 	w = w.withDefaults()
 	rng := rand.New(rand.NewSource(w.Seed))
+	rateMax := w.ArrivalPerHour
+	if w.Rate != nil && w.RateMax > 0 {
+		rateMax = w.RateMax
+	}
 	var (
 		out []Arrival
 		at  time.Duration
 	)
 	for {
-		gap := time.Duration(rng.ExpFloat64() / w.ArrivalPerHour * float64(time.Hour))
+		gap := time.Duration(rng.ExpFloat64() / rateMax * float64(time.Hour))
 		at += gap
 		if at >= w.Duration {
 			break
+		}
+		if w.Rate != nil && rng.Float64()*rateMax > w.Rate(at) {
+			continue // thinned candidate of the majorizing process
 		}
 		class := sla.ClassBestEffort
 		switch p := rng.Float64(); {
