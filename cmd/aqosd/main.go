@@ -8,6 +8,7 @@
 //
 //	aqosd -listen :8080 -guaranteed 15 -adaptive 6 -besteffort 5
 //	aqosd -listen :8080 -total 26 -failure-rate 0.23 -besteffort-frac 0.19
+//	aqosd -listen :8080 -total 26 -wal-dir /var/lib/aqosd/wal   # durable: restart recovers sessions
 package main
 
 import (
@@ -51,6 +52,7 @@ func run() error {
 		rmBackoff  = flag.Duration("rm-backoff", 100*time.Millisecond, "base backoff between RM retry attempts")
 		faultRate  = flag.Float64("fault-rate", 0, "chaos-test this daemon: per-site fault injection probability (0 disables)")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injector PRNG seed (with -fault-rate)")
+		walDir     = flag.String("wal-dir", "", "durability directory: lifecycle WAL + snapshots; a restart with the same directory recovers the broker's state")
 		peers      peerFlags
 	)
 	flag.Var(&peers, "peer", "neighboring AQoS endpoint as name=url (repeatable); requests this domain cannot serve are forwarded")
@@ -95,9 +97,14 @@ func run() error {
 			Backoff:  *rmBackoff,
 			Seed:     *faultSeed,
 		},
+		WALDir: *walDir,
 	})
 	if err != nil {
 		return err
+	}
+	if r := stack.Recovery; r != nil {
+		log.Printf("aqosd: recovered %d session(s) from %s (replayed %d record(s), adopted %d, refunded %d reservation(s))",
+			r.Sessions, *walDir, r.ReplayedRecords, r.Adopted, r.Refunded)
 	}
 	defer stack.Close()
 	_ = service // the default stack advertisement covers the service name

@@ -18,6 +18,7 @@
 //	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
 //	gridsim -parallel -shards 4               # same, against a 4-shard broker
 //	gridsim -chaos -seed 7 -faultrate 0.2     # deterministic fault-injection replay
+//	gridsim -chaos -restarts 3 -seed 7        # restart chaos: kill + WAL-recover the broker mid-workload
 //	gridsim -scenario list                    # the workload scenario catalog
 //	gridsim -scenario flash-crowd -seed 7     # replay one scenario, gate on its report
 //	gridsim -scenario all -soak -json         # soak every scenario, emit BENCH_scenarios.json
@@ -60,6 +61,8 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "emit -parallel/-chaos results as JSON")
 		chaos      = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
 		faultRate  = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
+		restarts   = fs.Int("restarts", 0, "with -chaos: kill and WAL-recover the broker this many times mid-workload")
+		walDir     = fs.String("wal-dir", "", "WAL directory for -chaos -restarts (default: a temporary one)")
 		cache      = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
 		scenario   = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
 		soak       = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
@@ -82,7 +85,13 @@ func run(args []string) error {
 		return fmt.Errorf("-soak needs -scenario")
 	}
 	if *chaos {
+		if *restarts > 0 {
+			return runRestartChaos(*clients, *ops, *restarts, *shards, *seed, *faultRate, *walDir, *jsonOut)
+		}
 		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *jsonOut)
+	}
+	if *restarts > 0 {
+		return fmt.Errorf("-restarts needs -chaos")
 	}
 	if *parallel {
 		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut, disableCaches)
@@ -209,6 +218,54 @@ func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, j
 	if res.InvariantViolations != 0 {
 		return fmt.Errorf("chaos run found %d invariant violation(s): %v",
 			res.InvariantViolations, res.Violations)
+	}
+	return nil
+}
+
+// runRestartChaos replays the chaos workload against a durable broker
+// that is killed and WAL-recovered -restarts times mid-run
+// (sim.RunRestartChaos). The JSON form is the shape recorded in
+// BENCH_recovery.json (see README.md "Recovery artifact"); the only
+// wall-clock field is recovery_p95_ms — CI strips it and diffs the rest
+// byte-for-byte across runs, and gates on invariant_violations == 0 and
+// capacity_restored == true.
+func runRestartChaos(clients, ops, restarts, shards int, seed int64, faultRate float64, walDir string, jsonOut bool) error {
+	res, err := sim.RunRestartChaos(sim.RestartChaosConfig{
+		Clients: clients, Ops: ops, Restarts: restarts, Seed: seed,
+		FaultRate: faultRate, Shards: shards, WALDir: walDir,
+	})
+	if err != nil {
+		return fmt.Errorf("restart chaos: %w", err)
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		header("RESTART CHAOS", "durable broker killed and WAL-recovered mid-workload")
+		fmt.Printf("seed=%d faultrate=%.2f shards=%d ops=%d restarts=%d\n",
+			res.Seed, res.FaultRate, res.Shards, res.Ops, res.Restarts)
+		fmt.Printf("requested=%d admitted=%d terminated=%d\n", res.Requested, res.Admitted, res.Terminated)
+		fmt.Printf("replayed=%d records, snapshots at %v, recovery p95=%.2fms\n",
+			res.ReplayedRecords, res.SnapshotSeqs, res.RecoveryP95MS)
+		fmt.Printf("reconcile: adopted=%d refunded=%d parked cleared=%d\n",
+			res.Adopted, res.Refunded, res.ParkedCleared)
+		fmt.Printf("digest matches=%d/%d capacity restored=%v\n",
+			res.DigestMatches, res.Restarts, res.CapacityRestored)
+		fmt.Printf("invariant checks=%d violations=%d\n", res.Checks, res.InvariantViolations)
+	}
+	if res.InvariantViolations != 0 {
+		return fmt.Errorf("restart chaos found %d invariant violation(s): %v",
+			res.InvariantViolations, res.Violations)
+	}
+	if !res.CapacityRestored {
+		return fmt.Errorf("restart chaos: capacity not restored after drain")
+	}
+	if res.DigestMatches != res.Restarts {
+		return fmt.Errorf("restart chaos: %d/%d recoveries matched the pre-kill digest",
+			res.DigestMatches, res.Restarts)
 	}
 	return nil
 }

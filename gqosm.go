@@ -188,6 +188,16 @@ type StackConfig struct {
 	// RMPolicy bounds the broker's RM-facing calls; the zero value is
 	// the historical single direct attempt with no timeout.
 	RMPolicy RetryPolicy
+	// WALDir, when set, makes the broker durable: lifecycle records
+	// journal to a write-ahead log in that directory with periodic
+	// snapshots, and a restart with the same WALDir recovers the dead
+	// broker's sessions, allocator book and ledger, then reconciles
+	// reservations against the RMs. Empty keeps the historical
+	// in-memory broker.
+	WALDir string
+	// WALSnapshotEvery is the snapshot cadence in WAL records (0 = the
+	// package default, 256). Only meaningful with WALDir.
+	WALSnapshotEvery int
 }
 
 // Stack is an assembled single-domain deployment: the AQoS broker wired to
@@ -214,6 +224,9 @@ type Stack struct {
 	// Faults is the injector from StackConfig, when one was installed;
 	// Mount also arms it on the SOAP server mux.
 	Faults *FaultInjector
+	// Recovery reports what crash recovery rebuilt and reconciled, when
+	// WALDir held state from a previous run; nil on a fresh start.
+	Recovery *core.RecoverStats
 }
 
 // NewStack assembles a deployment.
@@ -300,7 +313,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		repo = fileRepo
 	}
 
-	broker, err := core.NewBroker(core.Config{
+	brokerCfg := core.Config{
 		Domain:           cfg.Domain,
 		Clock:            clock,
 		Plan:             cfg.Plan,
@@ -318,7 +331,21 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Obs:              cfg.Obs,
 		Faults:           cfg.Faults,
 		RMPolicy:         cfg.RMPolicy,
-	})
+		Durability:       core.DurabilityConfig{Dir: cfg.WALDir, SnapshotEvery: cfg.WALSnapshotEvery},
+	}
+	// A WAL directory that already holds state means this start is a
+	// RESTART: recover the previous broker's sessions and reconcile
+	// against the RMs instead of journaling over its log.
+	var (
+		broker   *core.Broker
+		recovery *core.RecoverStats
+		err      error
+	)
+	if cfg.WALDir != "" && core.HasWALState(cfg.WALDir) {
+		broker, recovery, err = core.Recover(brokerCfg)
+	} else {
+		broker, err = core.NewBroker(brokerCfg)
+	}
 	if err != nil {
 		gramM.Close()
 		return nil, err
@@ -345,6 +372,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		RM:       adapter,
 		Obs:      metrics,
 		Faults:   cfg.Faults,
+		Recovery: recovery,
 	}
 	if cfg.MonitorInterval > 0 {
 		stack.Monitor = core.NewMonitor(broker, cfg.MonitorInterval)

@@ -169,3 +169,66 @@ func TestStackCustomServices(t *testing.T) {
 		t.Fatalf("custom service request: %v", err)
 	}
 }
+
+// TestStackRestartRecovers: a durable stack (WALDir set) is torn down
+// and reassembled over the same directory — the replacement reports the
+// recovery and carries the first stack's sessions and billing forward.
+func TestStackRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	plan := CapacityPlan{
+		Guaranteed: Capacity{CPU: 15, MemoryMB: 6144, DiskGB: 120},
+		Adaptive:   Capacity{CPU: 6, MemoryMB: 2048, DiskGB: 40},
+		BestEffort: Capacity{CPU: 5, MemoryMB: 2048, DiskGB: 40},
+	}
+	build := func() *Stack {
+		t.Helper()
+		stack, err := NewStack(StackConfig{
+			Domain: "site-a",
+			Clock:  NewManualClock(epoch),
+			Plan:   plan,
+			WALDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stack
+	}
+
+	first := build()
+	if first.Recovery != nil {
+		t.Fatal("fresh start reported a recovery")
+	}
+	offer, err := first.Broker.RequestService(Request{
+		Service: "simulation", Client: "quickstart", Class: ClassGuaranteed,
+		Spec:  NewSpec(Exact(CPU, 10), Exact(MemoryMB, 2048), Exact(DiskGB, 15)),
+		Start: epoch, End: epoch.Add(5 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Broker.Accept(offer.SLA.ID); err != nil {
+		t.Fatal(err)
+	}
+	revenue := first.Broker.Ledger().NetRevenue()
+	first.Close()
+
+	second := build()
+	defer second.Close()
+	r := second.Recovery
+	if r == nil {
+		t.Fatal("restart over a populated WAL directory reported no recovery")
+	}
+	if r.Sessions != 1 {
+		t.Fatalf("recovered %d session(s), want 1", r.Sessions)
+	}
+	doc, err := second.Broker.Session(offer.SLA.ID)
+	if err != nil {
+		t.Fatalf("recovered session: %v", err)
+	}
+	if doc.State != sla.StateEstablished {
+		t.Errorf("recovered state = %v, want established", doc.State)
+	}
+	if got := second.Broker.Ledger().NetRevenue(); got != revenue {
+		t.Errorf("recovered revenue = %g, want %g", got, revenue)
+	}
+}

@@ -227,6 +227,54 @@ func NewAllocator(plan CapacityPlan) (*Allocator, error) {
 // Plan returns the partition.
 func (a *Allocator) Plan() CapacityPlan { return a.plan }
 
+// BEState is one best-effort grant row in allocation order, exported for
+// durability snapshots (the order is the LIFO preemption order, so it
+// must survive recovery bit-exactly).
+type BEState struct {
+	User    string
+	Granted resource.Capacity
+	Seq     int
+}
+
+// ExportAux returns the allocator state that cannot be rebuilt from the
+// session documents alone: failed capacity, the best-effort table in
+// allocation order, and the preemption-order counter.
+func (a *Allocator) ExportAux() (offline resource.Capacity, be []BEState, nextSeq int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	be = make([]BEState, 0, len(a.bestEffort))
+	for _, b := range a.bestEffort {
+		be = append(be, BEState{User: b.user, Granted: b.granted, Seq: b.seq})
+	}
+	return a.offline, be, a.nextSeq
+}
+
+// Restore overwrites the allocator's full state from recovered data and
+// republishes the read view. The guaranteed/floor maps come from the
+// replayed session documents; the auxiliary state from the latest
+// journaled ExportAux image. No feasibility re-check happens here — the
+// recovered state was feasible when journaled, and the invariant oracle
+// re-verifies after recovery.
+func (a *Allocator) Restore(guaranteed, floors map[string]resource.Capacity, offline resource.Capacity, be []BEState, nextSeq int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.guaranteed = make(map[string]resource.Capacity, len(guaranteed))
+	for u, c := range guaranteed {
+		a.guaranteed[u] = c
+	}
+	a.floors = make(map[string]resource.Capacity, len(floors))
+	for u, c := range floors {
+		a.floors[u] = c
+	}
+	a.offline = offline.Min(a.plan.Guaranteed).ClampMin(resource.Capacity{})
+	a.bestEffort = make([]beAlloc, 0, len(be))
+	for _, b := range be {
+		a.bestEffort = append(a.bestEffort, beAlloc{user: b.User, granted: b.Granted, seq: b.Seq})
+	}
+	a.nextSeq = nextSeq
+	a.publishLocked()
+}
+
 // SetOffline marks capacity as failed/inaccessible (the §5.6 t2 event).
 // Failures are charged against the guaranteed pool C_G — the case the
 // adaptive reserve exists to absorb. Existing guaranteed grants are never

@@ -19,6 +19,7 @@ import (
 	"gqosm/internal/registry"
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
+	"gqosm/internal/wal"
 )
 
 // Broker errors.
@@ -115,6 +116,9 @@ type Config struct {
 	// backoff). The zero value is a single attempt with no deadline —
 	// the historical direct-call behavior.
 	RMPolicy RetryPolicy
+	// Durability enables the write-ahead lifecycle log (see durable.go).
+	// The zero value keeps the historical in-memory-only broker.
+	Durability DurabilityConfig
 }
 
 // Event is one entry of the broker activity log (the Fig. 6 console).
@@ -230,10 +234,43 @@ type Broker struct {
 	// registry, a registry without a generation counter, or
 	// Config.DisableCaches).
 	dcache *discoveryCache
+
+	// durable is the write-ahead lifecycle log; nil keeps every journal
+	// site a no-op (the historical in-memory broker). See durable.go.
+	durable *wal.Log
+
+	// recovering is true from the start of Recover until its RM
+	// reconciliation sweep has finished. It gates the public
+	// ReconcileReservations so a monitor that re-arms early cannot race
+	// the recovery sweep (see recover.go).
+	recovering atomic.Bool
 }
 
-// NewBroker assembles a broker from the config.
+// NewBroker assembles a broker from the config. When durability is
+// enabled the WAL directory must not already hold state — a directory
+// with history belongs to Recover, and silently starting fresh over it
+// would fork the journal.
 func NewBroker(cfg Config) (*Broker, error) {
+	b, err := newBroker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Durability.Dir != "" {
+		if wal.HasState(cfg.Durability.Dir) {
+			return nil, fmt.Errorf("core: WAL directory %s already holds state; use Recover", cfg.Durability.Dir)
+		}
+		log, _, err := wal.Open(b.walOptions())
+		if err != nil {
+			return nil, err
+		}
+		b.attachDurability(log)
+	}
+	return b, nil
+}
+
+// newBroker assembles the in-memory broker without touching any WAL
+// state; NewBroker and Recover both build on it.
+func newBroker(cfg Config) (*Broker, error) {
 	if cfg.GARA == nil {
 		return nil, errors.New("core: Config.GARA is required")
 	}
@@ -328,6 +365,11 @@ func (b *Broker) Close() {
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if b.durable != nil {
+		// Every acknowledged append was already fsynced; sealing just
+		// closes the segment. Recovery replays it like any other.
+		b.durable.Seal()
 	}
 }
 
@@ -520,6 +562,7 @@ func (b *Broker) PruneTerminal() int {
 		for _, id := range ids {
 			_ = b.repo.Delete(id)
 		}
+		b.journalPrune(ids)
 		pruned += len(ids)
 	}
 	return pruned

@@ -48,6 +48,19 @@ type generationFinder interface {
 	Generation() uint64
 }
 
+// epochFinder is the further optional extension that makes cache
+// entries safe across finder *restarts*. Generations restart from zero
+// when a registry restarts, so a generation check alone can validate a
+// pre-restart entry against a post-restart registry whose counter
+// happens to have climbed back to the stamped value — serving a service
+// key the new instance may never have registered. An epoch names the
+// instance itself; entries stamped with a dead instance's epoch can
+// never validate. Finders without an epoch get epoch 0 throughout,
+// which degrades to the historical generation-only check.
+type epochFinder interface {
+	Epoch() uint64
+}
+
 // defDiscoveryCacheCap bounds the cache: larger than any realistic
 // number of distinct (service, floor) shapes in flight, small enough
 // that the FIFO order slice stays cheap.
@@ -75,11 +88,17 @@ type discoveryEntry struct {
 	leaseUntil time.Time
 	// gen is the registry generation read before the fill's Find.
 	gen uint64
+	// epoch is the finder instance's epoch at the same point (0 when
+	// the finder has no epoch).
+	epoch uint64
 }
 
 type discoveryCache struct {
 	finder generationFinder
-	cap    int
+	// epochOf reads the finder's instance epoch (constant 0 for finders
+	// without one), resolved once here to keep the hot path assert-free.
+	epochOf func() uint64
+	cap     int
 
 	hits      *obs.Counter
 	misses    *obs.Counter
@@ -91,9 +110,14 @@ type discoveryCache struct {
 }
 
 func newDiscoveryCache(f generationFinder, reg *obs.Registry) *discoveryCache {
+	epochOf := func() uint64 { return 0 }
+	if ef, ok := f.(epochFinder); ok {
+		epochOf = ef.Epoch
+	}
 	return &discoveryCache{
-		finder: f,
-		cap:    defDiscoveryCacheCap,
+		finder:  f,
+		epochOf: epochOf,
+		cap:     defDiscoveryCacheCap,
 		hits: reg.Counter("gqosm_discovery_cache_hits_total",
 			"Discovery queries answered from the generation-stamped cache"),
 		misses: reg.Counter("gqosm_discovery_cache_misses_total",
@@ -137,14 +161,16 @@ func buildDiscoveryQuery(k discoveryKey) registry.Query {
 }
 
 // lookup returns the cached selection for k when it is still valid:
-// registry generation unchanged since the fill, and the selected
-// service's lease current at now.
+// same finder instance (epoch), registry generation unchanged since the
+// fill, and the selected service's lease current at now.
 func (c *discoveryCache) lookup(k discoveryKey, now time.Time) (registry.Key, bool) {
+	epoch := c.epochOf()
 	gen := c.finder.Generation()
 	c.mu.RLock()
 	e, ok := c.entries[k]
 	c.mu.RUnlock()
-	if !ok || e.gen != gen || (!e.leaseUntil.IsZero() && !now.Before(e.leaseUntil)) {
+	if !ok || e.epoch != epoch || e.gen != gen ||
+		(!e.leaseUntil.IsZero() && !now.Before(e.leaseUntil)) {
 		c.misses.Inc()
 		return "", false
 	}
@@ -165,11 +191,14 @@ func (c *discoveryCache) queryFor(k discoveryKey) registry.Query {
 	return buildDiscoveryQuery(k)
 }
 
-// generation reads the finder's mutation counter. Callers filling the
-// cache must read it BEFORE running Find: a mutation between the read
-// and the Find stores a stale generation and the next lookup misses
-// (safe); reading after the Find could stamp stale data current.
-func (c *discoveryCache) generation() uint64 { return c.finder.Generation() }
+// stamp reads the finder's instance epoch and mutation counter. Callers
+// filling the cache must read both BEFORE running Find: a mutation (or
+// restart) between the read and the Find stores a stale stamp and the
+// next lookup misses (safe); reading after the Find could stamp stale
+// data current.
+func (c *discoveryCache) stamp() (epoch, gen uint64) {
+	return c.epochOf(), c.finder.Generation()
+}
 
 // store records the Find outcome for k. Refilling an existing key
 // replaces the entry in place (keeping its FIFO position); a new key

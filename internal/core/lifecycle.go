@@ -401,6 +401,9 @@ func (b *Broker) rollbackAllocation(id sla.ID, c resource.Capacity, bill bool) {
 	// floor == requested: the re-grant either fully succeeds or leaves
 	// the existing grant (c) untouched — never a partial fallback.
 	if _, err := b.allocateLive(id, prev, prev); err == nil {
+		// Document and allocator agree again, but the failed grant (and
+		// this re-grant) may have preempted best-effort users.
+		b.journalShardAux("rollback", sh)
 		return
 	}
 	var delta float64
@@ -530,6 +533,7 @@ func (b *Broker) AcceptPromotion(id sla.ID) error {
 		// Capacity changed since the offer; roll back to the previous
 		// grant and refuse.
 		_, _ = b.allocateLive(id, offer.From, floor)
+		b.journalShardAux("rollback", sh)
 		return fmt.Errorf("%w: promotion capacity no longer available", ErrBadState)
 	}
 	if err := b.applyAllocation(id, handle, spec, offer.To, false); err != nil {
@@ -690,6 +694,9 @@ func (b *Broker) optimizeShard(sh *shard) (OptimizeOutcome, error) {
 			s.original = applied
 		}
 		sh.mu.Unlock()
+		// applyAllocation journaled via persist, but s.original changed
+		// after that; journal the final state.
+		b.journal("optimize", e.id)
 		if !applied.Equal(e.alloc) {
 			out.Changed++
 		}
@@ -698,7 +705,9 @@ func (b *Broker) optimizeShard(sh *shard) (OptimizeOutcome, error) {
 	return out, nil
 }
 
-// persist writes the session's document to the repository.
+// persist writes the session's document to the repository and journals
+// the session's post-operation state — every mutating lifecycle path
+// funnels through here, so the WAL sees every committed state change.
 func (b *Broker) persist(id sla.ID) {
 	sh := b.shardFor(id)
 	if sh == nil {
@@ -717,6 +726,7 @@ func (b *Broker) persist(id sla.ID) {
 	if err := b.repo.Put(doc); err != nil {
 		b.logf("repo", id, "persist: %v", err)
 	}
+	b.journal("persist", id)
 }
 
 func bindParamFor(job gram.Job) gara.BindParam {

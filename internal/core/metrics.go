@@ -37,6 +37,12 @@ type brokerMetrics struct {
 
 	monitorTicks  *obs.Counter
 	monitorPanics *obs.Counter
+
+	// Durability layer (see durable.go): journaled records, snapshots
+	// landed, appends that failed and sealed the durable history.
+	walRecords   *obs.Counter
+	walSnapshots *obs.Counter
+	walFailures  *obs.Counter
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
@@ -74,6 +80,13 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 			"Periodic management loop ticks"),
 		monitorPanics: reg.Counter("gqosm_monitor_panics_total",
 			"Panics recovered inside the monitor tick"),
+
+		walRecords: reg.Counter("gqosm_wal_records_total",
+			"Lifecycle records journaled to the write-ahead log"),
+		walSnapshots: reg.Counter("gqosm_wal_snapshots_total",
+			"Snapshots landed in the write-ahead log"),
+		walFailures: reg.Counter("gqosm_wal_append_failures_total",
+			"WAL appends that failed and sealed the durable history"),
 	}
 }
 

@@ -224,6 +224,9 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor 
 		if h, ok := b.cfg.GARA.FindByTag(string(id)); ok {
 			b.parkCancel(id, h)
 		}
+		// The failed admission may have preempted best-effort grants;
+		// journal the shard's post-rollback aux or replay resurrects them.
+		b.journalShardAux("rollback", sh)
 		return nil, fmt.Errorf("core: reservation: %w", err)
 	}
 
@@ -267,6 +270,7 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor 
 		b.routeMu.Unlock()
 		_ = sh.alloc.ReleaseGuaranteed(string(id))
 		_ = b.cfg.GARA.Cancel(handle)
+		b.journalShardAux("rollback", sh)
 		return nil, ErrClosed
 	}
 	sh.sessions[id] = sess
@@ -286,6 +290,11 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor 
 	// offer and mutate doc at any moment.
 	offered := doc.Clone()
 	sh.mu.Unlock()
+
+	// Proposal is the one lifecycle step that never reaches persist —
+	// journal it explicitly: the proposed session holds an allocator
+	// grant and a GARA reservation that recovery must account for.
+	b.journal("propose", id)
 
 	return &Offer{
 		SLA:         offered,
@@ -310,17 +319,17 @@ func (b *Broker) discover(req Request, floor resource.Capacity) (registry.Key, e
 	}
 	dk := discoveryKeyFor(req.Service, floor)
 	var (
-		q   registry.Query
-		gen uint64
+		q          registry.Query
+		epoch, gen uint64
 	)
 	if b.dcache != nil {
 		if key, ok := b.dcache.lookup(dk, b.clock.Now()); ok {
 			return key, nil
 		}
 		// Miss: reuse the prebuilt query of any stale entry, and read the
-		// generation before the Find (see discoveryCache.generation).
+		// epoch+generation stamp before the Find (see discoveryCache.stamp).
 		q = b.dcache.queryFor(dk)
-		gen = b.dcache.generation()
+		epoch, gen = b.dcache.stamp()
 	} else {
 		q = buildDiscoveryQuery(dk)
 	}
@@ -338,6 +347,7 @@ func (b *Broker) discover(req Request, floor resource.Capacity) (registry.Key, e
 			name:       matches[0].Name,
 			leaseUntil: matches[0].LeaseUntil,
 			gen:        gen,
+			epoch:      epoch,
 		})
 	}
 	b.logf("discovery", "", "registry returned %d matching service(s); selected %q",
@@ -548,12 +558,15 @@ func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) erro
 		return ErrClosed
 	}
 	b.beMu.Lock()
-	defer b.beMu.Unlock()
 	if sh, pinned := b.beRoute[client]; pinned {
 		if err := sh.alloc.AllocateBestEffort(client, amount); err != nil {
+			b.beMu.Unlock()
 			b.logf("best-effort", "", "denied %v to %q: %v", amount, client, err)
 			return err
 		}
+		b.journalBELocked("be-grant", sh)
+		b.beMu.Unlock()
+		b.maybeSnapshot()
 		b.logf("best-effort", "", "granted %v to %q", amount, client)
 		return nil
 	}
@@ -562,6 +575,9 @@ func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) erro
 		err := sh.alloc.AllocateBestEffort(client, amount)
 		if err == nil {
 			b.beRoute[client] = sh
+			b.journalBELocked("be-grant", sh)
+			b.beMu.Unlock()
+			b.maybeSnapshot()
 			b.logf("best-effort", "", "granted %v to %q", amount, client)
 			return nil
 		}
@@ -570,6 +586,7 @@ func (b *Broker) BestEffortRequest(client string, amount resource.Capacity) erro
 			break
 		}
 	}
+	b.beMu.Unlock()
 	b.logf("best-effort", "", "denied %v to %q: %v", amount, client, lastErr)
 	return lastErr
 }
@@ -586,8 +603,10 @@ func (b *Broker) BestEffortRelease(client string) error {
 	if err == nil || errors.Is(err, ErrUnknownUser) {
 		// An evicted borrower's pin is stale; drop it either way.
 		delete(b.beRoute, client)
+		b.journalBELocked("be-release", sh)
 	}
 	b.beMu.Unlock()
+	b.maybeSnapshot()
 	if err != nil {
 		return err
 	}

@@ -301,6 +301,7 @@ func (b *Broker) RetryStats() (retries, timeouts, unavailable int64) {
 func (b *Broker) parkCancel(id sla.ID, h gara.Handle) {
 	b.pcMu.Lock()
 	b.pendingCancels[id] = h
+	b.journalPendingLocked("park")
 	b.pcMu.Unlock()
 	b.logf("reconcile", id, "reservation %s parked for cancel retry", h)
 }
@@ -317,7 +318,21 @@ func (b *Broker) PendingCancels() int {
 // The monitor drives it each tick; harnesses call it during drains so
 // no reservation outlives its session just because an RM was down at
 // teardown time.
+//
+// While a recovery is in flight the sweep is a no-op: the parked-cancel
+// table is still being rebuilt from the WAL, and a monitor that re-arms
+// early would race the recovery's own reconciliation sweep — cancelling
+// handles the replay is about to re-own (see recover.go).
 func (b *Broker) ReconcileReservations() int {
+	if b.recovering.Load() {
+		return 0
+	}
+	return b.sweepParked()
+}
+
+// sweepParked is the reconcile body, shared by the public method and
+// the recovery path (which runs while recovering is still true).
+func (b *Broker) sweepParked() int {
 	b.pcMu.Lock()
 	ids := make([]sla.ID, 0, len(b.pendingCancels))
 	for id := range b.pendingCancels {
@@ -341,9 +356,13 @@ func (b *Broker) ReconcileReservations() int {
 		}
 		b.pcMu.Lock()
 		delete(b.pendingCancels, id)
+		b.journalPendingLocked("unpark")
 		b.pcMu.Unlock()
 		cleared++
 		b.logf("reconcile", id, "reservation %s cancel cleared", h)
+	}
+	if cleared > 0 {
+		b.maybeSnapshot()
 	}
 	return cleared
 }

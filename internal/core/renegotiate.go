@@ -96,6 +96,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 		if err != nil {
 			// Restore the previous grant before reporting failure.
 			_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
+			b.journalShardAux("rollback", sh)
 			return nil, fmt.Errorf("core: renegotiate %s after compensation: %w", id, err)
 		}
 	}
@@ -106,6 +107,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 		return b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id)))
 	}); err != nil {
 		_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
+		b.journalShardAux("rollback", sh)
 		return nil, fmt.Errorf("core: renegotiate %s: %w", id, err)
 	}
 

@@ -180,6 +180,12 @@ func (b *Broker) measureFlow(id sla.ID, handle gara.Handle, now time.Time) (nrm.
 // onNetworkDegradation is the NRM's notification hook (§3.2: "when the
 // network QoS degrades, the NRM notifies the SLA-Verif system").
 func (b *Broker) onNetworkDegradation(flow nrm.Flow, m nrm.Measurement) {
+	if b.closed.Load() {
+		// The NRM has no unsubscribe: a crashed/closed broker stays on
+		// the notification list, and reacting here would mutate state a
+		// recovered successor now owns.
+		return
+	}
 	id := sla.ID(flow.Tag)
 	sh := b.shardFor(id)
 	if sh == nil {
@@ -398,6 +404,7 @@ func (b *Broker) NotifyFailure(offline resource.Capacity) []Preemption {
 	for _, sh := range b.shards {
 		pre = append(pre, sh.alloc.SetOffline(share)...)
 	}
+	b.journalOffline("offline")
 	if offline.IsZero() {
 		b.logf("failure", "", "capacity recovered; adaptive reserve replenished")
 	} else {

@@ -225,6 +225,10 @@ type Ledger struct {
 	net float64
 	// totals accumulates per-kind amounts (always positive magnitudes).
 	totals map[EntryKind]float64
+	// observer, when set, sees every entry at the end of Record while
+	// l.mu is still held — the durability layer relies on that atomicity
+	// to journal the entry in the same order it changed the aggregates.
+	observer func(Entry)
 }
 
 // NewLedger returns an empty ledger.
@@ -274,6 +278,64 @@ func (l *Ledger) Record(e Entry) {
 	if l.retain > 0 && len(l.entries) >= 2*l.retain {
 		l.trimLocked()
 	}
+	if l.observer != nil {
+		l.observer(e)
+	}
+}
+
+// SetObserver installs fn to be called with every entry at the end of
+// Record, under the ledger lock (so the observed order is exactly the
+// aggregate-update order). nil removes the observer. The callback must
+// not call back into the ledger.
+func (l *Ledger) SetObserver(fn func(Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
+// State is the ledger's full exported state, for durability snapshots.
+type State struct {
+	Entries []Entry
+	Retain  int
+	Evicted int64
+	Net     float64
+	Totals  map[EntryKind]float64
+}
+
+// ExportWith calls fn with a deep copy of the ledger state while l.mu is
+// held. Holding the lock through the callback lets a durability snapshot
+// read its log fence inside fn, guaranteeing every entry is either in
+// the exported state or journaled past the fence — never both, never
+// neither.
+func (l *Ledger) ExportWith(fn func(State)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := State{
+		Entries: append([]Entry(nil), l.entries...),
+		Retain:  l.retain,
+		Evicted: l.evicted,
+		Net:     l.net,
+		Totals:  make(map[EntryKind]float64, len(l.totals)),
+	}
+	for k, v := range l.totals {
+		st.Totals[k] = v
+	}
+	fn(st)
+}
+
+// RestoreLedger rebuilds a ledger from exported state.
+func RestoreLedger(st State) *Ledger {
+	l := &Ledger{
+		entries: append([]Entry(nil), st.Entries...),
+		retain:  st.Retain,
+		evicted: st.Evicted,
+		net:     st.Net,
+		totals:  make(map[EntryKind]float64, len(st.Totals)),
+	}
+	for k, v := range st.Totals {
+		l.totals[k] = v
+	}
+	return l
 }
 
 // Charge records client revenue for an SLA.

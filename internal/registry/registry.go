@@ -185,14 +185,26 @@ type Registry struct {
 	// check their selected service's LeaseUntil themselves.
 	gen atomic.Uint64
 
+	// epoch identifies this registry *instance*. Generations restart
+	// from zero on every restart, so a restarted registry can reach a
+	// generation value a cache stamped before the crash — the epoch is
+	// drawn from a process-wide counter precisely so that can never
+	// validate: a cache entry is current only if both its epoch and its
+	// generation match.
+	epoch uint64
+
 	mu       sync.Mutex
 	nextID   int
 	services map[Key]*Service
 }
 
+// epochSeq hands every registry instance in the process a distinct
+// epoch; it never repeats within a process lifetime.
+var epochSeq atomic.Uint64
+
 // New returns an empty registry using the given clock for leases.
 func New(clock clockx.Clock) *Registry {
-	return &Registry{clock: clock, services: make(map[Key]*Service)}
+	return &Registry{clock: clock, epoch: epochSeq.Add(1), services: make(map[Key]*Service)}
 }
 
 // Register adds a service and returns its assigned key. A zero
@@ -324,6 +336,13 @@ func (r *Registry) Sweep() int {
 // an unchanged generation observe the same registered set (modulo
 // time-based lease expiry — see the gen field).
 func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// Epoch identifies this registry instance. Two registries — even one
+// restarted in place of another — never share an epoch, so a cache that
+// stamps entries with (epoch, generation) can never validate a pre-crash
+// entry against a post-crash registry whose generation counter happens
+// to have reached the same value.
+func (r *Registry) Epoch() uint64 { return r.epoch }
 
 // Len reports the number of registrations (including expired ones not yet
 // swept).

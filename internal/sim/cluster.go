@@ -62,6 +62,11 @@ type ClusterConfig struct {
 	// injector was built on, so crash-recovery windows and session
 	// lifecycles advance together.
 	Clock *clockx.Manual
+	// WAL, when its Dir is set, makes the broker durable: lifecycle
+	// records journal to the directory and RecoverBroker can rebuild the
+	// broker after a crash. The zero value keeps the historical
+	// in-memory broker.
+	WAL core.DurabilityConfig
 }
 
 // Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
@@ -77,6 +82,11 @@ type Cluster struct {
 	GRAM     *gram.Manager
 	GARA     *gara.System
 	Obs      *obs.Registry
+
+	// brokerCfg is the exact core.Config the broker was assembled with,
+	// kept so RecoverBroker can rebuild a replacement against the same
+	// surviving substrates.
+	brokerCfg core.Config
 }
 
 // NewCluster assembles a cluster at the Epoch.
@@ -150,7 +160,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	gramM := gram.NewManager(clock)
 	gramM.InjectFaults(cfg.Faults)
 
-	broker, err := core.NewBroker(core.Config{
+	brokerCfg := core.Config{
 		Domain:           "site-a",
 		Clock:            clock,
 		Plan:             cfg.Plan,
@@ -166,28 +176,47 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Obs:              cfg.Obs,
 		Faults:           cfg.Faults,
 		RMPolicy:         cfg.RMPolicy,
-	})
+		Durability:       cfg.WAL,
+	}
+	broker, err := core.NewBroker(brokerCfg)
 	if err != nil {
 		return nil, err
 	}
 	metrics := broker.Obs()
+	// Recovered brokers must report into the SAME registry so counters
+	// accumulate across restarts.
+	brokerCfg.Obs = metrics
 	g.Instrument(metrics)
 	gramM.Instrument(metrics)
 	if netMgr != nil {
 		netMgr.Instrument(metrics)
 	}
 	return &Cluster{
-		Clock:    clock,
-		Broker:   broker,
-		Pool:     pool,
-		Topo:     topo,
-		NetMgr:   netMgr,
-		Registry: reg,
-		MDS:      dir,
-		GRAM:     gramM,
-		GARA:     g,
-		Obs:      metrics,
+		Clock:     clock,
+		Broker:    broker,
+		Pool:      pool,
+		Topo:      topo,
+		NetMgr:    netMgr,
+		Registry:  reg,
+		MDS:       dir,
+		GRAM:      gramM,
+		GARA:      g,
+		Obs:       metrics,
+		brokerCfg: brokerCfg,
 	}, nil
+}
+
+// RecoverBroker rebuilds the broker from the cluster's WAL directory —
+// the surviving substrates (pool, GARA, NRM, GRAM, registry, clock) are
+// reused, exactly as a restarted broker process would find them. The
+// dead broker must have been stopped with Crash (or Close) first.
+func (c *Cluster) RecoverBroker() (*core.RecoverStats, error) {
+	b, stats, err := core.Recover(c.brokerCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Broker = b
+	return stats, nil
 }
 
 // Close shuts the cluster down.
