@@ -125,7 +125,10 @@ func newHandler(stack *gqosm.Stack, peers peerFlags) http.Handler {
 	if len(peers) > 0 {
 		fed := core.NewFederation(stack.Broker)
 		for _, p := range peers {
-			fed.AddPeer(&core.PeerClient{Domain: p.name, Client: core.NewClient(p.url)})
+			if err := fed.AddPeer(&core.PeerClient{Domain: p.name, Client: core.NewClient(p.url)}); err != nil {
+				log.Printf("aqosd: skipping peer %q at %s: %v", p.name, p.url, err)
+				continue
+			}
 			log.Printf("aqosd: neighboring AQoS %q at %s", p.name, p.url)
 		}
 		fed.Mount(mux)

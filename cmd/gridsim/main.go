@@ -22,6 +22,9 @@
 //	gridsim -scenario list                    # the workload scenario catalog
 //	gridsim -scenario flash-crowd -seed 7     # replay one scenario, gate on its report
 //	gridsim -scenario all -soak -json         # soak every scenario, emit BENCH_scenarios.json
+//	gridsim -cluster 3 -seed 7                # multi-broker cluster: placement, fallback,
+//	                                          # hand-off crash drill, N=1 parity gate
+//	gridsim -cluster 3 -json                  # same, emit the BENCH_cluster.json shape
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"gqosm"
+	"gqosm/internal/cluster"
 	"gqosm/internal/gara"
 	"gqosm/internal/obs"
 	"gqosm/internal/resource"
@@ -66,6 +70,8 @@ func run(args []string) error {
 		cache      = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
 		scenario   = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
 		soak       = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
+		clusterN   = fs.Int("cluster", 0, "run the multi-broker harness with N broker instances behind the front tier")
+		placement  = fs.String("placement", "hash", "front-tier placement for -cluster: hash|least-loaded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +83,18 @@ func run(args []string) error {
 		disableCaches = true
 	default:
 		return fmt.Errorf("bad -cache value %q (want on or off)", *cache)
+	}
+	if *clusterN > 0 {
+		// -clients doubles as the cluster workload size, but its stress
+		// default (8) is far too small here: unless set explicitly, the
+		// cluster harness drives the acceptance-scale 10⁵ clients.
+		nClients := 100000
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "clients" {
+				nClients = *clients
+			}
+		})
+		return runCluster(*clusterN, nClients, *shards, *seed, *placement, *jsonOut)
 	}
 	if *scenario != "" {
 		return runScenarios(*scenario, *soak, *seed, *ops, *shards, *jsonOut)
@@ -266,6 +284,101 @@ func runRestartChaos(clients, ops, restarts, shards int, seed int64, faultRate f
 	if res.DigestMatches != res.Restarts {
 		return fmt.Errorf("restart chaos: %d/%d recoveries matched the pre-kill digest",
 			res.DigestMatches, res.Restarts)
+	}
+	return nil
+}
+
+// runCluster drives the multi-broker harness (sim.RunClusterSim): the
+// N-broker run, a 1-broker baseline over the SAME workload, the N=1 vs
+// N=N outcome-parity comparison, and — for N > 1 — the hand-off crash
+// drill (sim.RunHandoffCrash). The JSON form is the shape recorded in
+// BENCH_cluster.json (see README.md "Cluster artifact"); CI gates on
+// invariant_violations == 0 in both runs, parity == true, and
+// handoff.single_owner == true.
+func runCluster(brokers, clients, shards int, seed int64, placementStr string, jsonOut bool) error {
+	place, err := cluster.ParsePlacement(placementStr)
+	if err != nil {
+		return err
+	}
+	scale, err := sim.RunClusterSim(sim.ClusterSimConfig{
+		Brokers: brokers, Clients: clients, Seed: seed, Placement: place, Shards: shards,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster run: %w", err)
+	}
+	baseline, err := sim.RunClusterSim(sim.ClusterSimConfig{
+		Brokers: 1, Clients: clients, Seed: seed, Placement: place, Shards: shards,
+	})
+	if err != nil {
+		return fmt.Errorf("single-broker baseline: %w", err)
+	}
+	parity := scale.OutcomeDigest == baseline.OutcomeDigest
+
+	var handoff *sim.HandoffCrashResult
+	if brokers > 1 {
+		handoff, err = sim.RunHandoffCrash(sim.HandoffCrashConfig{Brokers: brokers, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("handoff crash drill: %w", err)
+		}
+	}
+
+	if jsonOut {
+		out, err := json.MarshalIndent(map[string]any{
+			"schema":   "bench_cluster/v1",
+			"scale":    scale,
+			"baseline": baseline,
+			"parity":   parity,
+			"handoff":  handoff,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		header("CLUSTER", fmt.Sprintf("%d-broker front tier vs single-broker baseline (placement %s)", brokers, scale.Placement))
+		for _, row := range []struct {
+			name string
+			r    *sim.ClusterSimResult
+		}{{"baseline", baseline}, {"cluster", scale}} {
+			fmt.Printf("%-9s brokers=%-2d clients=%-7d admitted=%-7d rejected=%-6d errors=%-3d forwarded=%-6d migrations=%d/%d digest=%s\n",
+				row.name, row.r.Brokers, row.r.Clients, row.r.Admitted, row.r.Rejected,
+				row.r.Errors, row.r.Forwarded, row.r.Migrations, row.r.Migrations+row.r.MigrationFailures,
+				row.r.OutcomeDigest)
+		}
+		for _, s := range scale.PerBroker {
+			fmt.Printf("%-9s %-8s final sessions=%-4d load=%.3f\n", "", s.Domain, s.Sessions, s.Load)
+		}
+		fmt.Printf("outcome parity N=1 vs N=%d: %v\n", brokers, parity)
+		if handoff != nil {
+			fmt.Printf("handoff drill: %s %s->%s single_owner=%v owner=%s completed=%d aborted=%d resolved=%d\n",
+				handoff.MigratedID, handoff.Source, handoff.Target, handoff.SingleOwner,
+				handoff.OwnerDomain, handoff.Completed, handoff.Aborted, handoff.HandoffsResolved)
+		}
+		fmt.Printf("invariant checks=%d violations=%d (baseline %d)\n",
+			scale.Checks, scale.InvariantViolations, baseline.InvariantViolations)
+	}
+
+	if scale.InvariantViolations != 0 {
+		return fmt.Errorf("cluster run found %d invariant violation(s): %v",
+			scale.InvariantViolations, scale.Violations)
+	}
+	if baseline.InvariantViolations != 0 {
+		return fmt.Errorf("baseline run found %d invariant violation(s): %v",
+			baseline.InvariantViolations, baseline.Violations)
+	}
+	if !parity {
+		return fmt.Errorf("outcome parity broken: N=1 digest %s vs N=%d digest %s",
+			baseline.OutcomeDigest, brokers, scale.OutcomeDigest)
+	}
+	if handoff != nil {
+		if handoff.InvariantViolations != 0 {
+			return fmt.Errorf("handoff drill found %d invariant violation(s): %v",
+				handoff.InvariantViolations, handoff.Violations)
+		}
+		if !handoff.SingleOwner {
+			return fmt.Errorf("handoff drill: %d owner(s) for %s after recovery, want exactly one on %s",
+				handoff.Owners, handoff.MigratedID, handoff.Target)
+		}
 	}
 	return nil
 }

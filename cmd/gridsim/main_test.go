@@ -196,3 +196,42 @@ func TestScenarioArgumentErrors(t *testing.T) {
 		t.Fatal("-soak without -scenario accepted")
 	}
 }
+
+// TestClusterFlagJSON runs a small -cluster workload end to end and
+// checks the BENCH_cluster.json shape plus its two gates: N=1 parity
+// and the hand-off drill's single owner.
+func TestClusterFlagJSON(t *testing.T) {
+	out, err := runCapture(t, "-cluster", "2", "-clients", "600", "-seed", "5", "-json")
+	if err != nil {
+		t.Fatalf("-cluster run: %v\n%s", err, out)
+	}
+	var rep struct {
+		Schema  string                `json:"schema"`
+		Scale   *sim.ClusterSimResult `json:"scale"`
+		Parity  bool                  `json:"parity"`
+		Handoff struct {
+			SingleOwner bool `json:"single_owner"`
+		} `json:"handoff"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != "bench_cluster/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Scale == nil || rep.Scale.Brokers != 2 || rep.Scale.Clients != 600 {
+		t.Errorf("scale block = %+v", rep.Scale)
+	}
+	if !rep.Parity {
+		t.Error("parity gate failed")
+	}
+	if !rep.Handoff.SingleOwner {
+		t.Error("handoff drill did not end with a single owner")
+	}
+}
+
+func TestClusterFlagArgumentErrors(t *testing.T) {
+	if _, err := runCapture(t, "-cluster", "2", "-placement", "round-robin"); err == nil {
+		t.Fatal("bad -placement accepted")
+	}
+}

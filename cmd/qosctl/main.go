@@ -17,6 +17,7 @@
 //	qosctl -broker http://localhost:8080 renegotiate -sla site-a-sla-0001 -cpu 12
 //	qosctl -broker http://localhost:8080 besteffort -client me -cpu 4
 //	qosctl -broker http://localhost:8080 metrics
+//	qosctl load -endpoints http://localhost:8080,http://localhost:8081
 package main
 
 import (
@@ -49,7 +50,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort | metrics")
+		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort | metrics | load")
 	}
 	client := gqosm.NewBrokerClient(*broker)
 	cmd, rest := rest[0], rest[1:]
@@ -66,6 +67,8 @@ func run(args []string) error {
 		return doBestEffort(client, rest)
 	case "metrics":
 		return doMetrics(*broker, rest)
+	case "load":
+		return doLoad(*broker, rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -246,6 +249,44 @@ func doBestEffort(client *core.Client, args []string) error {
 		fmt.Printf("granted %v\n", amount)
 	}
 	return nil
+}
+
+// doLoad prints each broker instance's load report — the signal the
+// cluster front tier's least-loaded placement routes on. With
+// -endpoints it walks a comma-separated multi-broker deployment; the
+// default is the single -broker endpoint.
+func doLoad(broker string, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	endpoints := fs.String("endpoints", "", "comma-separated broker endpoints (default: the -broker one)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eps := []string{broker}
+	if *endpoints != "" {
+		eps = strings.Split(*endpoints, ",")
+	}
+	fmt.Printf("%-24s %-10s %8s %8s  %s\n", "ENDPOINT", "DOMAIN", "SESSIONS", "LOAD", "STATE")
+	var firstErr error
+	for _, ep := range eps {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		r, err := core.NewClient(ep).LoadReport()
+		if err != nil {
+			fmt.Printf("%-24s %-10s %8s %8s  unreachable: %v\n", ep, "-", "-", "-", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("load report from %s: %w", ep, err)
+			}
+			continue
+		}
+		state := "serving"
+		if r.Recovering {
+			state = "recovering"
+		}
+		fmt.Printf("%-24s %-10s %8d %8.3f  %s\n", ep, r.Domain, r.Sessions, r.Load, state)
+	}
+	return firstErr
 }
 
 // doMetrics prints the broker's /metrics snapshot: the broker-side

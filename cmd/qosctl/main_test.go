@@ -221,3 +221,31 @@ func TestMetricsAgainstDeadBroker(t *testing.T) {
 		t.Fatal("expected connection error")
 	}
 }
+
+// TestLoadSubcommand walks a two-instance deployment with -endpoints:
+// each broker answers the load_report round trip the cluster front tier
+// places on.
+func TestLoadSubcommand(t *testing.T) {
+	_, url1 := startBroker(t)
+	_, url2 := startBroker(t)
+	out, err := runCapture(t, "load", "-endpoints", url1+","+url2)
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, "serving"); got != 2 {
+		t.Fatalf("want 2 serving rows, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "site-a") {
+		t.Fatalf("load output missing domain:\n%s", out)
+	}
+}
+
+func TestLoadAgainstDeadBroker(t *testing.T) {
+	out, err := runCapture(t, "load", "-endpoints", "http://127.0.0.1:1")
+	if err == nil {
+		t.Fatalf("expected connection error, got:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable") {
+		t.Fatalf("dead endpoint not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,477 @@
+// Package cluster is the multi-broker front tier: it routes admissions
+// across N broker instances (consistent-hash or least-loaded placement
+// over live load reports), falls back across brokers through the
+// existing federation fan-out when the placed broker declines, and
+// drives session hand-off for rebalancing. With a single slot the front
+// degenerates to the plain broker: one federation with zero peers,
+// identical outcomes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gqosm/internal/core"
+	"gqosm/internal/gram"
+	"gqosm/internal/sla"
+)
+
+// Placement selects the front tier's routing policy.
+type Placement int
+
+const (
+	// PlaceHash routes each client by consistent hash: a client's
+	// admissions land on the same broker run after run, independent of
+	// arrival order (the default).
+	PlaceHash Placement = iota
+	// PlaceLeastLoaded routes each admission to the broker with the
+	// lowest reported load factor.
+	PlaceLeastLoaded
+)
+
+func (p Placement) String() string {
+	if p == PlaceLeastLoaded {
+		return "least-loaded"
+	}
+	return "hash"
+}
+
+// ParsePlacement parses "hash" or "least-loaded".
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "hash":
+		return PlaceHash, nil
+	case "least-loaded", "leastloaded":
+		return PlaceLeastLoaded, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown placement %q", s)
+}
+
+// Config tunes the front tier.
+type Config struct {
+	// Placement is the routing policy (default PlaceHash).
+	Placement Placement
+	// HashReplicas is the virtual points per broker on the hash ring
+	// (default 64).
+	HashReplicas int
+}
+
+// ErrNoBrokerAvailable is returned when every slot is recovering or
+// absent.
+var ErrNoBrokerAvailable = errors.New("cluster: no broker available")
+
+// Front is the thin routing tier over the cluster's slots. Safe for
+// concurrent use.
+type Front struct {
+	cfg   Config
+	slots []*Slot
+	ring  *hashRing
+	byDom map[string]int
+
+	mu     sync.Mutex
+	feds   map[int]*fedEntry
+	owners map[sla.ID]int
+}
+
+// fedEntry caches the federation built around one local slot's broker;
+// it is rebuilt when Swap installs a recovered instance.
+type fedEntry struct {
+	b   *core.Broker
+	fed *core.Federation
+}
+
+// New assembles a front over the given slots. Domains must be unique;
+// slot order is the federation's peer registration order, so it decides
+// which broker wins a fallback race.
+func New(cfg Config, slots ...*Slot) (*Front, error) {
+	if len(slots) == 0 {
+		return nil, errors.New("cluster: front needs at least one slot")
+	}
+	if cfg.HashReplicas <= 0 {
+		cfg.HashReplicas = 64
+	}
+	byDom := make(map[string]int, len(slots))
+	domains := make([]string, len(slots))
+	for i, s := range slots {
+		if _, dup := byDom[s.Domain()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate domain %q", s.Domain())
+		}
+		byDom[s.Domain()] = i
+		domains[i] = s.Domain()
+	}
+	return &Front{
+		cfg:    cfg,
+		slots:  slots,
+		ring:   newHashRing(domains, cfg.HashReplicas),
+		byDom:  byDom,
+		feds:   make(map[int]*fedEntry),
+		owners: make(map[sla.ID]int),
+	}, nil
+}
+
+// Slots returns the cluster members in registration order.
+func (f *Front) Slots() []*Slot { return f.slots }
+
+// route returns the slot indices to try for a client, placed-first.
+// Recovering slots are skipped — the re-route the transient peer gate
+// promises.
+func (f *Front) route(client string) []int {
+	var order []int
+	switch f.cfg.Placement {
+	case PlaceLeastLoaded:
+		type cand struct {
+			load float64
+			idx  int
+		}
+		cands := make([]cand, 0, len(f.slots))
+		for i, s := range f.slots {
+			if s.Recovering() {
+				continue
+			}
+			r, err := s.Load()
+			if err != nil {
+				continue
+			}
+			cands = append(cands, cand{load: r.Load, idx: i})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].load != cands[b].load {
+				return cands[a].load < cands[b].load
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		for _, c := range cands {
+			order = append(order, c.idx)
+		}
+	default:
+		for _, i := range f.ring.order(client, len(f.slots)) {
+			if !f.slots[i].Recovering() {
+				order = append(order, i)
+			}
+		}
+	}
+	return order
+}
+
+// federationFor returns the cached federation homed on slot idx's local
+// broker, with every other slot registered as a peer in ascending slot
+// order — so the cross-broker fallback reuses the federation fan-out
+// (concurrent peer calls under the home broker's RetryPolicy,
+// registration-order first-success, PeerReject retraction) unchanged.
+func (f *Front) federationFor(idx int, home *core.Broker) *core.Federation {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.feds[idx]; ok && e.b == home {
+		return e.fed
+	}
+	fed := core.NewFederation(home)
+	for i, s := range f.slots {
+		if i == idx {
+			continue
+		}
+		// The only AddPeer failure is a duplicate domain, which New
+		// already rejected.
+		_ = fed.AddPeer(s)
+	}
+	f.feds[idx] = &fedEntry{b: home, fed: fed}
+	return fed
+}
+
+// RequestService admits a request through the cluster: the placed
+// broker first, then the federation fallback across the remaining
+// slots. The returned offer's Domain names the owning broker; the front
+// records it so lifecycle calls route there.
+func (f *Front) RequestService(req core.Request) (*core.FederatedOffer, error) {
+	order := f.route(req.Client)
+	if len(order) == 0 {
+		return nil, ErrNoBrokerAvailable
+	}
+	homeIdx := order[0]
+	homeSlot := f.slots[homeIdx]
+
+	var offer *core.FederatedOffer
+	if home := homeSlot.Broker(); home != nil {
+		o, err := f.federationFor(homeIdx, home).RequestService(req)
+		if err != nil {
+			return nil, err
+		}
+		offer = o
+	} else {
+		// Remote home: walk the placement order first-success. Remote
+		// slots cannot host a federation (the fan-out needs the home
+		// broker's retry policy), so fallback is sequential here.
+		var errs []string
+		for _, i := range order {
+			o, err := f.slots[i].PeerRequest(req)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %v", f.slots[i].Domain(), err))
+				continue
+			}
+			offer = &core.FederatedOffer{Offer: *o, Domain: f.slots[i].Domain(), Forwarded: i != homeIdx}
+			break
+		}
+		if offer == nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrNoDomainCanServe, errs)
+		}
+	}
+	if idx, ok := f.byDom[offer.Domain]; ok {
+		f.mu.Lock()
+		f.owners[offer.SLA.ID] = idx
+		f.mu.Unlock()
+	}
+	return offer, nil
+}
+
+// Owner reports which domain hosts a session the front admitted or
+// migrated.
+func (f *Front) Owner(id sla.ID) (string, bool) {
+	f.mu.Lock()
+	idx, ok := f.owners[id]
+	f.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	return f.slots[idx].Domain(), true
+}
+
+// ownerBroker resolves a session to its local broker.
+func (f *Front) ownerBroker(id sla.ID) (*core.Broker, int, error) {
+	f.mu.Lock()
+	idx, ok := f.owners[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", core.ErrUnknownSession, id)
+	}
+	b := f.slots[idx].Broker()
+	if b == nil {
+		return nil, 0, fmt.Errorf("cluster: session %s lives on remote slot %q", id, f.slots[idx].Domain())
+	}
+	return b, idx, nil
+}
+
+func (f *Front) forget(id sla.ID) {
+	f.mu.Lock()
+	delete(f.owners, id)
+	f.mu.Unlock()
+}
+
+// Accept confirms a proposed SLA on its owning broker.
+func (f *Front) Accept(id sla.ID) error {
+	b, _, err := f.ownerBroker(id)
+	if err != nil {
+		return err
+	}
+	return b.Accept(id)
+}
+
+// Reject declines a proposed SLA on its owning broker.
+func (f *Front) Reject(id sla.ID) error {
+	b, _, err := f.ownerBroker(id)
+	if err != nil {
+		return err
+	}
+	if err := b.Reject(id); err != nil {
+		return err
+	}
+	f.forget(id)
+	return nil
+}
+
+// Invoke launches a session's service on its owning broker.
+func (f *Front) Invoke(id sla.ID) (gram.Job, error) {
+	b, _, err := f.ownerBroker(id)
+	if err != nil {
+		return gram.Job{}, err
+	}
+	return b.Invoke(id)
+}
+
+// Terminate clears a session on its owning broker.
+func (f *Front) Terminate(id sla.ID, reason string) error {
+	b, _, err := f.ownerBroker(id)
+	if err != nil {
+		return err
+	}
+	if err := b.Terminate(id, reason); err != nil {
+		return err
+	}
+	f.forget(id)
+	return nil
+}
+
+// Quiesce waits for every slot federation's background fan-out work
+// (slow peer answers, loser retraction) to finish. Harnesses call it
+// before a final invariant checkpoint.
+func (f *Front) Quiesce() {
+	f.mu.Lock()
+	feds := make([]*core.Federation, 0, len(f.feds))
+	for _, e := range f.feds {
+		feds = append(feds, e.fed)
+	}
+	f.mu.Unlock()
+	for _, fed := range feds {
+		fed.Quiesce()
+	}
+}
+
+// Migrate hands session id off to the named target domain: drain on the
+// source (BeginHandoff), re-admit under the same SLA ID on the target
+// (ImportSession), then tear the source copy down (CompleteHandoff).
+// Both sides journal their intent, so a crash at any point recovers to
+// exactly one owner (ReconcileHandoffs finishes or aborts the rest).
+func (f *Front) Migrate(id sla.ID, target string) error {
+	src, srcIdx, err := f.ownerBroker(id)
+	if err != nil {
+		return err
+	}
+	tIdx, ok := f.byDom[target]
+	if !ok {
+		return fmt.Errorf("cluster: unknown target domain %q", target)
+	}
+	if tIdx == srcIdx {
+		return fmt.Errorf("cluster: session %s already lives on %q", id, target)
+	}
+	tgt := f.slots[tIdx].Broker()
+	if tgt == nil {
+		return fmt.Errorf("cluster: migration to remote slot %q not supported", target)
+	}
+	if f.slots[tIdx].Recovering() {
+		return fmt.Errorf("%w: slot %q", core.ErrPeerUnavailable, target)
+	}
+
+	st, err := src.BeginHandoff(id, target)
+	if err != nil {
+		return err
+	}
+	if err := tgt.ImportSession(st); err != nil {
+		_ = src.AbortHandoff(id)
+		return err
+	}
+	if err := src.CompleteHandoff(id); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.owners[id] = tIdx
+	f.mu.Unlock()
+	return nil
+}
+
+// ReconcileHandoffs resolves outbound intents left by crashes: for each
+// local slot's open hand-off, the migration is completed when the
+// target broker holds the session live (the import committed before the
+// crash) and aborted otherwise. Call it after recovering a crashed
+// member. Returns how many hand-offs were completed and aborted.
+func (f *Front) ReconcileHandoffs() (completed, aborted int) {
+	for srcIdx, slot := range f.slots {
+		src := slot.Broker()
+		if src == nil || slot.Recovering() {
+			continue
+		}
+		outs := src.HandoffsOut()
+		ids := make([]sla.ID, 0, len(outs))
+		for id := range outs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			target := outs[id]
+			tIdx, known := f.byDom[target]
+			imported := false
+			if known {
+				if tb := f.slots[tIdx].Broker(); tb != nil && !f.slots[tIdx].Recovering() {
+					if doc, err := tb.Session(id); err == nil && !doc.State.Terminal() {
+						imported = true
+					}
+				}
+			}
+			if imported {
+				if err := src.CompleteHandoff(id); err == nil {
+					completed++
+					f.mu.Lock()
+					f.owners[id] = tIdx
+					f.mu.Unlock()
+				}
+				continue
+			}
+			if err := src.AbortHandoff(id); err == nil {
+				aborted++
+				f.mu.Lock()
+				f.owners[id] = srcIdx
+				f.mu.Unlock()
+			}
+		}
+	}
+	return completed, aborted
+}
+
+// Rebalance migrates up to max live sessions from the most-loaded local
+// broker to the least-loaded one. Degraded and non-settled sessions are
+// skipped (hand-off moves healthy capacity, adaptation heals the rest
+// in place). Returns how many sessions moved.
+func (f *Front) Rebalance(max int) int {
+	type cand struct {
+		load float64
+		idx  int
+	}
+	var cands []cand
+	for i, s := range f.slots {
+		if s.Broker() == nil || s.Recovering() {
+			continue
+		}
+		r, err := s.Load()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{load: r.Load, idx: i})
+	}
+	if len(cands) < 2 {
+		return 0
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	srcIdx, tgtIdx := cands[len(cands)-1].idx, cands[0].idx
+	if srcIdx == tgtIdx {
+		return 0
+	}
+	src := f.slots[srcIdx].Broker()
+	target := f.slots[tgtIdx].Domain()
+
+	infos := src.SessionInfos()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	moved := 0
+	for _, s := range infos {
+		if moved >= max {
+			break
+		}
+		if s.Degraded || (s.State != sla.StateEstablished && s.State != sla.StateActive) {
+			continue
+		}
+		f.mu.Lock()
+		f.owners[s.ID] = srcIdx // the session may predate this front
+		f.mu.Unlock()
+		if err := f.Migrate(s.ID, target); err == nil {
+			moved++
+		}
+	}
+	return moved
+}
+
+// Loads reports every slot's load (best effort: unreachable slots
+// report Recovering with zero load).
+func (f *Front) Loads() []core.LoadReport {
+	out := make([]core.LoadReport, len(f.slots))
+	for i, s := range f.slots {
+		r, err := s.Load()
+		if err != nil {
+			r = core.LoadReport{Domain: s.Domain(), Recovering: true}
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -229,6 +229,11 @@ type Broker struct {
 	pcMu           sync.Mutex
 	pendingCancels map[sla.ID]gara.Handle
 
+	// hoMu guards handoffs: the journaled session hand-off intent table
+	// (see handoff.go). A leaf lock, safe under a shard lock.
+	hoMu     sync.Mutex
+	handoffs map[sla.ID]handoffIntent
+
 	// dcache is the generation-stamped discovery cache (see
 	// discovery_cache.go); nil when discovery is uncacheable (no
 	// registry, a registry without a generation counter, or
@@ -318,6 +323,7 @@ func newBroker(cfg Config) (*Broker, error) {
 		evBuf:          make([]Event, 0, cfg.EventLogCap),
 		obs:            cfg.Obs,
 		pendingCancels: make(map[sla.ID]gara.Handle),
+		handoffs:       make(map[sla.ID]handoffIntent),
 	}
 	b.pol = newPolicyRunner(b, cfg.RMPolicy)
 	if !cfg.DisableCaches {
@@ -377,6 +383,47 @@ func (b *Broker) Close() {
 // experiments snapshot pool usage through it). Single-shard brokers — the
 // default — have exactly one; multi-shard callers use Allocators.
 func (b *Broker) Allocator() *Allocator { return b.shards[0].alloc }
+
+// Domain returns the administrative domain the broker serves.
+func (b *Broker) Domain() string { return b.cfg.Domain }
+
+// Recovering reports whether a Recover is still installing state and
+// reconciling against the RMs; admissions are refused with
+// ErrPeerUnavailable while it is true.
+func (b *Broker) Recovering() bool { return b.recovering.Load() }
+
+// LoadReport is a broker's self-report for front-tier placement: how
+// loaded its guaranteed partitions are and how many sessions it hosts.
+type LoadReport struct {
+	// Domain names the reporting broker.
+	Domain string `json:"domain"`
+	// Sessions counts resident sessions (any state; terminal sessions
+	// linger until pruned, so this tracks working-set size, not live
+	// demand).
+	Sessions int `json:"sessions"`
+	// Load is the mean of the shards' guaranteed-partition load factors
+	// (0 idle, ≥ 1 when saturated).
+	Load float64 `json:"load"`
+	// Recovering is true while a Recover is still in flight; the front
+	// tier skips recovering members when placing admissions.
+	Recovering bool `json:"recovering,omitempty"`
+}
+
+// LoadReport snapshots the broker's placement-relevant load. It reads
+// only the allocators' published views and per-shard session counts, so
+// it is cheap enough for the front tier to call on every admission.
+func (b *Broker) LoadReport() LoadReport {
+	r := LoadReport{Domain: b.cfg.Domain, Recovering: b.recovering.Load()}
+	var sum float64
+	for _, sh := range b.shards {
+		sum += sh.alloc.LoadFactor()
+		sh.mu.Lock()
+		r.Sessions += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	r.Load = sum / float64(len(b.shards))
+	return r
+}
 
 // Ledger exposes the accounting ledger.
 func (b *Broker) Ledger() *pricing.Ledger { return b.ledger }

@@ -341,6 +341,12 @@ func (b *Broker) snapshotNow() error {
 		snap.Pending[string(id)] = string(h)
 	}
 	b.pcMu.Unlock()
+	b.hoMu.Lock()
+	snap.Handoffs = make(map[string]string, len(b.handoffs))
+	for id, it := range b.handoffs {
+		snap.Handoffs[string(id)] = it.encode()
+	}
+	b.hoMu.Unlock()
 	b.ledger.ExportWith(func(st pricing.State) {
 		snap.LedgerSeq = b.durable.LastSeq()
 		snap.Ledger = ledgerStateOut(st)

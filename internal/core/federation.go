@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +37,10 @@ func (b *Broker) PeerDomain() string { return b.cfg.Domain }
 // PeerRequest implements Peer for the local broker.
 func (b *Broker) PeerRequest(req Request) (*Offer, error) { return b.RequestService(req) }
 
+// PeerLoad implements the optional load-reporting half of Peer for the
+// local broker.
+func (b *Broker) PeerLoad() (LoadReport, error) { return b.LoadReport(), nil }
+
 // PeerReject implements peerRejecter for the local broker.
 func (b *Broker) PeerReject(id sla.ID) error { return b.Reject(id) }
 
@@ -45,6 +50,25 @@ var _ Peer = (*Broker)(nil)
 // reachable neighbor decline a request.
 var ErrNoDomainCanServe = errors.New("core: no domain can serve the request")
 
+// ErrDuplicatePeer is returned by AddPeer for a peer whose domain is
+// already registered (or is the home domain itself): the fan-out would
+// otherwise try the same broker twice and could retract the same offer
+// twice.
+var ErrDuplicatePeer = errors.New("core: peer domain already registered")
+
+// peerUnavailableMsg is the wire-visible marker of ErrPeerUnavailable; a
+// PeerClient maps SOAP faults carrying it back to the typed error so the
+// retry policy on the calling side still recognizes it as transient.
+const peerUnavailableMsg = "peer broker temporarily unavailable (recovering)"
+
+// ErrPeerUnavailable is the recovery-gated refusal: a broker that is
+// mid-Recover (WAL replay and RM reconciliation still in flight) refuses
+// admissions with it instead of answering from half-installed state.
+// Unlike a dead peer's ErrClosed it is transient — retryable() treats it
+// like a flaky wire, so the fan-out retries within its budget and the
+// front tier re-routes the admission instead of failing it.
+var ErrPeerUnavailable = errors.New("core: " + peerUnavailableMsg)
+
 // Federation fronts a home broker with a set of neighbors. It is safe for
 // concurrent use.
 type Federation struct {
@@ -52,6 +76,12 @@ type Federation struct {
 
 	mu    sync.Mutex
 	peers []Peer
+
+	// wg tracks the fan-out's background goroutines (slow peers still
+	// answering after an early winner, and loser retraction); Quiesce
+	// waits for them so a harness can checkpoint without racing a
+	// retraction.
+	wg sync.WaitGroup
 }
 
 // NewFederation returns a federation around the home broker.
@@ -63,11 +93,24 @@ func NewFederation(home *Broker) *Federation {
 func (f *Federation) Home() *Broker { return f.home }
 
 // AddPeer registers a neighboring AQoS. Peers are tried in registration
-// order.
-func (f *Federation) AddPeer(p Peer) {
+// order. A peer whose domain is already registered — or that names the
+// home domain — is rejected with ErrDuplicatePeer: forwarding to the
+// same broker twice wastes a fan-out slot and can double-retract the
+// same losing offer.
+func (f *Federation) AddPeer(p Peer) error {
+	domain := p.PeerDomain()
+	if domain == f.home.cfg.Domain {
+		return fmt.Errorf("%w: %q is the home domain", ErrDuplicatePeer, domain)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	for _, q := range f.peers {
+		if q.PeerDomain() == domain {
+			return fmt.Errorf("%w: %q", ErrDuplicatePeer, domain)
+		}
+	}
 	f.peers = append(f.peers, p)
+	return nil
 }
 
 // Peers returns the neighbor domain names in trial order.
@@ -101,9 +144,12 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 		return &FederatedOffer{Offer: *homeOffer, Domain: f.home.cfg.Domain}, nil
 	}
 	// Validation failures are the client's problem, not a capacity
-	// issue: do not forward them.
+	// issue: do not forward them. A recovery-gated home refusal IS
+	// forwarded — a neighbor can serve while the home broker replays its
+	// WAL.
 	if !errors.Is(homeErr, ErrNoService) && !errors.Is(homeErr, ErrCannotHonor) &&
-		!errors.Is(homeErr, ErrOverBudget) && !isCapacityError(homeErr) {
+		!errors.Is(homeErr, ErrOverBudget) && !errors.Is(homeErr, ErrPeerUnavailable) &&
+		!isCapacityError(homeErr) {
 		return nil, homeErr
 	}
 
@@ -119,7 +165,9 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 	for i, p := range peers {
 		ch := make(chan peerResult, 1)
 		results[i] = ch
+		f.wg.Add(1)
 		go func(p Peer, ch chan<- peerResult) {
+			defer f.wg.Done()
 			// Each peer call runs under the home broker's retry policy:
 			// a flaky wire is retried, a dead neighbor is given up on
 			// after the budget instead of hanging the fan-out. A retry
@@ -147,7 +195,11 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 		// Peers past the winner are still in flight; retract whatever they
 		// offer so losing domains do not sit on temporary reservations
 		// until their confirm windows lapse.
-		go retractLosers(peers[i+1:], results[i+1:])
+		f.wg.Add(1)
+		go func(losers []Peer, pending []chan peerResult) {
+			defer f.wg.Done()
+			retractLosers(losers, pending)
+		}(peers[i+1:], results[i+1:])
 		f.home.logf("federation", "", "request for %q forwarded to neighbor %q", req.Service, p.PeerDomain())
 		return &FederatedOffer{Offer: *r.offer, Domain: p.PeerDomain(), Forwarded: true}, nil
 	}
@@ -155,6 +207,12 @@ func (f *Federation) RequestService(req Request) (*FederatedOffer, error) {
 	return nil, fmt.Errorf("%w: home %q: %v; neighbors: %v",
 		ErrNoDomainCanServe, f.home.cfg.Domain, homeErr, attempts)
 }
+
+// Quiesce blocks until every background fan-out goroutine — slow peers
+// still answering after an early winner, and the retraction of their
+// losing offers — has finished. Checkpointing harnesses call it before
+// asserting reservation hygiene; an in-flight retraction is not a leak.
+func (f *Federation) Quiesce() { f.wg.Wait() }
 
 // peerResult is one neighbor's answer to a fanned-out request.
 type peerResult struct {
@@ -233,6 +291,13 @@ func (p *PeerClient) PeerDomain() string { return p.Domain }
 func (p *PeerClient) PeerRequest(req Request) (*Offer, error) {
 	resp, err := p.Client.RequestService(req)
 	if err != nil {
+		// A recovering remote broker answers with a SOAP fault carrying
+		// the ErrPeerUnavailable marker; map it back to the typed error so
+		// the caller's retry policy sees a transient refusal, not a dead
+		// peer.
+		if strings.Contains(err.Error(), peerUnavailableMsg) {
+			return nil, fmt.Errorf("%w: peer %q", ErrPeerUnavailable, p.Domain)
+		}
 		return nil, err
 	}
 	doc, err := decodeOfferSLA(resp)
@@ -254,6 +319,12 @@ func (p *PeerClient) PeerRequest(req Request) (*Offer, error) {
 func (p *PeerClient) PeerReject(id sla.ID) error {
 	_, err := p.Client.Act(id, "reject", "lost federation race")
 	return err
+}
+
+// PeerLoad fetches the remote broker's load report for front-tier
+// placement.
+func (p *PeerClient) PeerLoad() (LoadReport, error) {
+	return p.Client.LoadReport()
 }
 
 var _ Peer = (*PeerClient)(nil)

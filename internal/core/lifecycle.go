@@ -79,6 +79,12 @@ func (b *Broker) Invoke(id sla.ID) (gram.Job, error) {
 // survivors.
 func (b *Broker) Terminate(id sla.ID, reason string) error {
 	defer b.debugCheck("terminate")
+	if b.handoffBlocked(id) {
+		// A teardown racing the migration window could leave the target
+		// holding a session the source already billed as terminated;
+		// CompleteHandoff owns the teardown for draining sessions.
+		return fmt.Errorf("%w: %s", ErrHandoffPending, id)
+	}
 	sh := b.shardFor(id)
 	if sh == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
@@ -155,6 +161,9 @@ func (b *Broker) terminateForCompensation(id sla.ID) error {
 // reservation expiration, one of the §3 Clearing triggers).
 func (b *Broker) Expire(id sla.ID) error {
 	defer b.debugCheck("expire")
+	if b.handoffBlocked(id) {
+		return fmt.Errorf("%w: %s", ErrHandoffPending, id)
+	}
 	if err := b.teardown(id, sla.StateExpired, "validity period completed"); err != nil {
 		return err
 	}

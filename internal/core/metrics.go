@@ -35,6 +35,12 @@ type brokerMetrics struct {
 	optimizerRuns    *obs.Counter
 	optimizerApplied *obs.Counter
 
+	// Cluster hand-off traffic (see handoff.go): sessions drained out,
+	// imported in, and migrations completed on the source side.
+	handoffsOut  *obs.Counter
+	handoffsIn   *obs.Counter
+	handoffsDone *obs.Counter
+
 	monitorTicks  *obs.Counter
 	monitorPanics *obs.Counter
 
@@ -70,6 +76,10 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 		violations:    lifecycle("violation"),
 		failures:      lifecycle("failure"),
 		compensations: lifecycle("compensate"),
+
+		handoffsOut:  lifecycle("handoff_out"),
+		handoffsIn:   lifecycle("handoff_in"),
+		handoffsDone: lifecycle("handoff_done"),
 
 		optimizerRuns: reg.Counter("gqosm_broker_optimizer_runs_total",
 			"Section 5.3 optimizer executions"),

@@ -109,6 +109,12 @@ func (b *Broker) requestService(req Request) (*Offer, error) {
 	if b.closed.Load() {
 		return nil, ErrClosed
 	}
+	if b.recovering.Load() {
+		// Mid-Recover the session table and allocators are still being
+		// installed; refuse with the transient gate so federated callers
+		// retry or re-route instead of treating this broker as dead.
+		return nil, ErrPeerUnavailable
+	}
 	// The floor is read by discovery, placement and admission; compute it
 	// once here instead of re-deriving it from the spec at every layer.
 	floor := req.Spec.Floor()

@@ -131,13 +131,15 @@ func (r *policyRunner) metrics(site string) *siteMetrics {
 }
 
 // retryable reports whether err is transient: injected faults,
-// transport failures, and per-attempt timeouts. Business errors (a
-// full allocator, an unknown handle) are definitive answers and pass
-// through on the attempt that produced them.
+// transport failures, per-attempt timeouts, and recovery-gated peer
+// refusals (a broker mid-WAL-replay answers again once recovery lands).
+// Business errors (a full allocator, an unknown handle) are definitive
+// answers and pass through on the attempt that produced them.
 func retryable(err error) bool {
 	return errors.Is(err, faultx.ErrInjected) ||
 		errors.Is(err, soapx.ErrTransport) ||
-		errors.Is(err, errAttemptTimeout)
+		errors.Is(err, errAttemptTimeout) ||
+		errors.Is(err, ErrPeerUnavailable)
 }
 
 // call runs op at site under the full policy: per-attempt timeout,

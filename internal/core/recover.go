@@ -62,6 +62,10 @@ type RecoverStats struct {
 	Refunded int `json:"refunded"`
 	// ParkedCleared counts parked cancels cleared by the recovery sweep.
 	ParkedCleared int `json:"parked_cleared"`
+	// HandoffsResolved counts inbound hand-off intents resolved by the
+	// mid-import sweep (see handoff.go); outbound intents are left for
+	// the cluster front's reconcile.
+	HandoffsResolved int `json:"handoffs_resolved"`
 }
 
 // recoverTestHook, when set, runs after the broker's state is installed
@@ -122,6 +126,7 @@ func Recover(cfg Config) (*Broker, *RecoverStats, error) {
 
 	stats.Adopted, stats.Refunded = b.reconcileAgainstRMs()
 	stats.ParkedCleared = b.sweepParked()
+	stats.HandoffsResolved = b.resolveInboundHandoffs()
 	b.rearmConfirmTimers()
 
 	// Land a fresh snapshot of the reconciled state so the next recovery
@@ -141,6 +146,7 @@ type recoveredState struct {
 	aux      map[int]*wal.ShardAux         // shard → latest aux image
 	beRoute  map[string]int
 	pending  map[string]string
+	handoffs map[string]string
 	ledger   wal.LedgerState
 	nextID   int64
 }
@@ -158,6 +164,7 @@ func foldState(load *wal.LoadResult) (*recoveredState, error) {
 		aux:      make(map[int]*wal.ShardAux),
 		beRoute:  make(map[string]int),
 		pending:  make(map[string]string),
+		handoffs: make(map[string]string),
 		ledger:   wal.LedgerState{Totals: make(map[int]float64)},
 	}
 	var ledgerFence uint64
@@ -181,6 +188,9 @@ func foldState(load *wal.LoadResult) (*recoveredState, error) {
 		}
 		for id, h := range s.Pending {
 			st.pending[id] = h
+		}
+		for id, it := range s.Handoffs {
+			st.handoffs[id] = it
 		}
 		st.ledger = s.Ledger
 		if st.ledger.Totals == nil {
@@ -209,6 +219,12 @@ func foldState(load *wal.LoadResult) (*recoveredState, error) {
 			st.pending = make(map[string]string, len(r.Pending))
 			for id, h := range r.Pending {
 				st.pending[id] = h
+			}
+		}
+		if r.HasHandoffs {
+			st.handoffs = make(map[string]string, len(r.Handoffs))
+			for id, it := range r.Handoffs {
+				st.handoffs[id] = it
 			}
 		}
 		for _, id := range r.Prune {
@@ -325,6 +341,12 @@ func (b *Broker) installState(st *recoveredState) error {
 		b.pendingCancels[sla.ID(id)] = gara.Handle(h)
 	}
 	b.pcMu.Unlock()
+
+	b.hoMu.Lock()
+	for id, it := range st.handoffs {
+		b.handoffs[sla.ID(id)] = decodeIntent(it)
+	}
+	b.hoMu.Unlock()
 
 	b.nextID.Store(st.nextID)
 	b.ledger = pricing.RestoreLedger(pricingStateIn(st.ledger))

@@ -102,6 +102,16 @@ func (b *Broker) Mount(mux *soapx.Mux) {
 		}, nil
 	})
 
+	mux.Handle("load_report_request", func(body []byte) (any, error) {
+		r := b.LoadReport()
+		return &xmlmsg.LoadReportXML{
+			Domain:     r.Domain,
+			Sessions:   r.Sessions,
+			Load:       r.Load,
+			Recovering: r.Recovering,
+		}, nil
+	})
+
 	mux.Handle("best_effort_request", func(body []byte) (any, error) {
 		var req xmlmsg.BestEffortRequestXML
 		if err := xml.Unmarshal(body, &req); err != nil {
@@ -231,6 +241,21 @@ func (c *Client) Verify(id sla.ID) (*QoSLevelsXML, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// LoadReport fetches the remote broker's current load for front-tier
+// placement.
+func (c *Client) LoadReport() (LoadReport, error) {
+	var resp xmlmsg.LoadReportXML
+	if err := c.call(&xmlmsg.LoadReportRequestXML{}, &resp); err != nil {
+		return LoadReport{}, err
+	}
+	return LoadReport{
+		Domain:     resp.Domain,
+		Sessions:   resp.Sessions,
+		Load:       resp.Load,
+		Recovering: resp.Recovering,
+	}, nil
 }
 
 // decodeOfferSLA converts a wire offer back into the SLA document (used

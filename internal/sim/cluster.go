@@ -29,6 +29,15 @@ var Epoch = time.Date(2003, 6, 16, 9, 0, 0, 0, time.UTC)
 type ClusterConfig struct {
 	// Plan is the Algorithm-1 partition (required).
 	Plan core.CapacityPlan
+	// Domain names the broker's administrative domain; default "site-a".
+	// The multi-broker harness gives each member its own domain so SLA
+	// IDs stay globally unique and federation can tell the sites apart.
+	Domain string
+	// ServiceCapacity, when non-zero, overrides the capacity the default
+	// catch-all "simulation" service advertises (the multi-broker
+	// harness advertises the CLUSTER-wide total on every member so
+	// discovery admits requests whose fate the allocator must decide).
+	ServiceCapacity resource.Capacity
 	// Services to pre-register for discovery; when empty a catch-all
 	// "simulation" service advertising the plan's total capacity is
 	// registered.
@@ -95,6 +104,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if clock == nil {
 		clock = clockx.NewManual(Epoch)
 	}
+	domain := cfg.Domain
+	if domain == "" {
+		domain = "site-a"
+	}
 	total := cfg.Plan.Total()
 	pool := resource.NewPool("machine", total)
 
@@ -129,13 +142,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	reg := registry.New(clock)
 	services := cfg.Services
 	if len(services) == 0 {
+		adv := total
+		if !cfg.ServiceCapacity.IsZero() {
+			adv = cfg.ServiceCapacity
+		}
 		services = []registry.Service{{
 			Name:     "simulation",
-			Provider: "site-a",
+			Provider: domain,
 			Properties: []registry.Property{
-				registry.NumProp("cpu-nodes", total.CPU),
-				registry.NumProp("memory-mb", total.MemoryMB),
-				registry.NumProp("disk-gb", total.DiskGB),
+				registry.NumProp("cpu-nodes", adv.CPU),
+				registry.NumProp("memory-mb", adv.MemoryMB),
+				registry.NumProp("disk-gb", adv.DiskGB),
 				registry.NumProp("bandwidth-mbps", 1000),
 			},
 		}}
@@ -161,7 +178,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	gramM.InjectFaults(cfg.Faults)
 
 	brokerCfg := core.Config{
-		Domain:           "site-a",
+		Domain:           domain,
 		Clock:            clock,
 		Plan:             cfg.Plan,
 		Registry:         reg,

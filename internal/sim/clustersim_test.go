@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// The parity acceptance bar: a 3-broker cluster must produce exactly
+// the 1-broker outcome sequence for the same workload — N=1 is
+// behavior-identical to the single broker, and N=3 placement/fallback
+// never changes an admission's fate.
+func TestClusterSimParity(t *testing.T) {
+	single, err := RunClusterSim(ClusterSimConfig{Brokers: 1, Clients: 4000, Seed: 11})
+	if err != nil {
+		t.Fatalf("N=1: %v", err)
+	}
+	multi, err := RunClusterSim(ClusterSimConfig{Brokers: 3, Clients: 4000, Seed: 11})
+	if err != nil {
+		t.Fatalf("N=3: %v", err)
+	}
+	for _, r := range []*ClusterSimResult{single, multi} {
+		if r.InvariantViolations != 0 {
+			t.Fatalf("N=%d: %d invariant violation(s): %v", r.Brokers, r.InvariantViolations, r.Violations)
+		}
+		if r.Admitted == 0 || r.Rejected == 0 {
+			t.Fatalf("N=%d: degenerate workload: %+v", r.Brokers, r)
+		}
+	}
+	if single.OutcomeDigest != multi.OutcomeDigest {
+		t.Fatalf("outcome parity broken: N=1 %s (admitted %d, rejected %d) vs N=3 %s (admitted %d, rejected %d)",
+			single.OutcomeDigest, single.Admitted, single.Rejected,
+			multi.OutcomeDigest, multi.Admitted, multi.Rejected)
+	}
+	if multi.Migrations == 0 {
+		t.Fatalf("N=3 run performed no migrations: %+v", multi)
+	}
+}
+
+// Same configuration, same digest: the multi-broker run is
+// deterministic.
+func TestClusterSimDeterministic(t *testing.T) {
+	a, err := RunClusterSim(ClusterSimConfig{Brokers: 3, Clients: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterSim(ClusterSimConfig{Brokers: 3, Clients: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutcomeDigest != b.OutcomeDigest || a.Admitted != b.Admitted || a.Migrations != b.Migrations {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// The satellite-3 crash interleaving as a harness run: source killed
+// after the target committed, recovered from WAL, reconciled — exactly
+// one owner, no invariant violations, nothing leaked.
+func TestHandoffCrashSingleOwner(t *testing.T) {
+	res, err := RunHandoffCrash(HandoffCrashConfig{Brokers: 3, Sessions: 60, Seed: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SingleOwner {
+		t.Fatalf("expected single owner on %s, got %d owner(s) (last %q): %+v",
+			res.Target, res.Owners, res.OwnerDomain, res)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("reconcile completed %d hand-offs, want 1: %+v", res.Completed, res)
+	}
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%d invariant violation(s): %v", res.InvariantViolations, res.Violations)
+	}
+}

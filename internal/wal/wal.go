@@ -140,6 +140,13 @@ type Record struct {
 	// Pending is the full parked-cancel table (SLA ID → GARA handle).
 	Pending    map[string]string `json:",omitempty"`
 	HasPending bool              `json:",omitempty"`
+	// Handoffs is the full session hand-off intent table (SLA ID →
+	// "out:<peer>" / "in:<peer>"); HasHandoffs distinguishes "now empty"
+	// from "not recorded". Intents journal before the cross-broker step
+	// they describe, so a crash mid-migration recovers to exactly one
+	// owner (see core/handoff.go).
+	Handoffs    map[string]string `json:",omitempty"`
+	HasHandoffs bool              `json:",omitempty"`
 	// Ledger is one accounting delta.
 	Ledger *LedgerEntry `json:",omitempty"`
 	// Prune lists session IDs removed by terminal-state pruning; replay
@@ -177,6 +184,7 @@ type Snapshot struct {
 	Shards    []ShardSnap
 	BERoute   map[string]int    `json:",omitempty"`
 	Pending   map[string]string `json:",omitempty"`
+	Handoffs  map[string]string `json:",omitempty"`
 	Ledger    LedgerState
 }
 
