@@ -1,14 +1,17 @@
 // Command aqosd runs an AQoS broker as a SOAP-over-HTTP server — the
 // server half of the paper's Fig. 5 testbed (broker + registry behind one
-// endpoint). The capacity partition follows Algorithm 1's administrator
-// inputs: either explicit G/A/B node counts or a total with failure-rate
-// and best-effort fractions.
+// endpoint). The same listener also serves the compact JSON API under
+// /api/v1/ for high-volume clients (see internal/httpapi). The capacity
+// partition follows Algorithm 1's administrator inputs: either explicit
+// G/A/B node counts or a total with failure-rate and best-effort
+// fractions.
 //
 // Usage:
 //
 //	aqosd -listen :8080 -guaranteed 15 -adaptive 6 -besteffort 5
 //	aqosd -listen :8080 -total 26 -failure-rate 0.23 -besteffort-frac 0.19
 //	aqosd -listen :8080 -total 26 -wal-dir /var/lib/aqosd/wal   # durable: restart recovers sessions
+//	aqosd -listen :8080 -total 26 -intake                       # group-commit admission batching
 package main
 
 import (
@@ -53,6 +56,8 @@ func run() error {
 		faultRate  = flag.Float64("fault-rate", 0, "chaos-test this daemon: per-site fault injection probability (0 disables)")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injector PRNG seed (with -fault-rate)")
 		walDir     = flag.String("wal-dir", "", "durability directory: lifecycle WAL + snapshots; a restart with the same directory recovers the broker's state")
+		intake     = flag.Bool("intake", false, "enable the group-commit admission intake: concurrent JSON-API admissions share one allocator pass and one WAL fsync per batch")
+		intakeWait = flag.Duration("intake-flush", 0, "with -intake: idle flush interval bounding how long a queued admission waits for company (0 = flush on demand)")
 		peers      peerFlags
 	)
 	flag.Var(&peers, "peer", "neighboring AQoS endpoint as name=url (repeatable); requests this domain cannot serve are forwarded")
@@ -98,6 +103,7 @@ func run() error {
 			Seed:     *faultSeed,
 		},
 		WALDir: *walDir,
+		Intake: gqosm.IntakeConfig{Enabled: *intake, FlushEvery: *intakeWait},
 	})
 	if err != nil {
 		return err
@@ -111,8 +117,12 @@ func run() error {
 
 	handler := newHandler(stack, peers)
 
-	log.Printf("aqosd: domain %q serving on %s (plan G=%v A=%v B=%v)",
-		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort)
+	mode := "direct"
+	if *intake {
+		mode = "group-commit intake"
+	}
+	log.Printf("aqosd: domain %q serving SOAP + JSON (/api/v1/) on %s (plan G=%v A=%v B=%v, admission %s)",
+		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort, mode)
 	return http.ListenAndServe(*listen, handler)
 }
 

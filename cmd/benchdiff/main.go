@@ -1,9 +1,13 @@
 // Command benchdiff is the benchmark-regression gate behind CI's
 // bench-regression job: it parses `go test -bench` output, reduces the
 // -count repetitions of each benchmark to medians, and compares ns/op
-// and allocs/op against a committed JSON baseline with a tolerance
-// band. It needs nothing outside the standard library, so CI can `go
-// run` it from a clean checkout.
+// and allocs/op against a committed JSON baseline. ns/op gets a
+// relative tolerance band (timings jitter with runner load); allocs/op
+// is gated exactly by default (-alloc-tolerance 0) — allocation counts
+// are deterministic at steady state, so ANY increase, including 0 → 1,
+// is a real regression someone must either fix or consciously bake into
+// a refreshed baseline. It needs nothing outside the standard library,
+// so CI can `go run` it from a clean checkout.
 //
 // Usage:
 //
@@ -12,9 +16,10 @@
 //	go run ./cmd/benchdiff -new bench.txt -write-baseline BENCH_baseline.json
 //
 // The comparison fails (exit 1) when any baseline benchmark is missing
-// from the new output, or when its new median exceeds the baseline by
-// more than -tolerance (default 0.15) on either metric. Improvements
-// are reported but never fail.
+// from the new output, when a new ns/op median exceeds the baseline by
+// more than -tolerance (default 0.15), or when a new allocs/op median
+// exceeds baseline*(1+-alloc-tolerance) (default 0: exact).
+// Improvements are reported but never fail.
 package main
 
 import (
@@ -128,10 +133,12 @@ func reduce(raw map[string]*samples) map[string]BenchStat {
 }
 
 // compare checks new medians against the baseline. Every baseline
-// benchmark must be present in the new results and stay within
-// base*(1+tolerance) on ns/op and allocs/op. It returns the human
-// report and the list of failures.
-func compare(base Baseline, fresh map[string]BenchStat, tolerance float64) (string, []string) {
+// benchmark must be present in the new results, stay within
+// base*(1+nsTol) on ns/op and within base*(1+allocTol) on allocs/op
+// (allocTol 0 means exact: any extra allocation fails, even from a
+// zero-alloc baseline). It returns the human report and the list of
+// failures.
+func compare(base Baseline, fresh map[string]BenchStat, nsTol, allocTol float64) (string, []string) {
 	var sb strings.Builder
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
@@ -154,13 +161,19 @@ func compare(base Baseline, fresh map[string]BenchStat, tolerance float64) (stri
 		allocDelta := delta(b.AllocsPerOp, n.AllocsPerOp)
 		fmt.Fprintf(&sb, "%-34s %14.0f %14.0f %+7.1f%%   %14.0f %14.0f %+7.1f%%\n",
 			name, b.NsPerOp, n.NsPerOp, nsDelta*100, b.AllocsPerOp, n.AllocsPerOp, allocDelta*100)
-		if b.NsPerOp > 0 && n.NsPerOp > b.NsPerOp*(1+tolerance) {
+		if b.NsPerOp > 0 && n.NsPerOp > b.NsPerOp*(1+nsTol) {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
-				name, nsDelta*100, b.NsPerOp, n.NsPerOp, tolerance*100))
+				name, nsDelta*100, b.NsPerOp, n.NsPerOp, nsTol*100))
 		}
-		if b.AllocsPerOp > 0 && n.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
-			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
-				name, allocDelta*100, b.AllocsPerOp, n.AllocsPerOp, tolerance*100))
+		// No b > 0 guard: a zero-alloc baseline growing to 1 alloc/op is
+		// exactly the regression the exact gate exists to catch.
+		if n.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
+			gate := "exact gate"
+			if allocTol > 0 {
+				gate = fmt.Sprintf("tolerance %.0f%%", allocTol*100)
+			}
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed (%.0f -> %.0f, %s)",
+				name, b.AllocsPerOp, n.AllocsPerOp, gate))
 		}
 	}
 	return sb.String(), failures
@@ -177,7 +190,8 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
 		newPath      = flag.String("new", "", "go test -bench output to evaluate (required)")
-		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative regression on ns/op and allocs/op")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative regression on ns/op")
+		allocTol     = flag.Float64("alloc-tolerance", 0, "allowed relative regression on allocs/op (0 = exact)")
 		writeBase    = flag.String("write-baseline", "", "write the new medians to this baseline file instead of comparing")
 		outPath      = flag.String("out", "", "also write the comparison report to this file")
 	)
@@ -233,7 +247,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", *baselinePath, err)
 		os.Exit(2)
 	}
-	report, failures := compare(base, fresh, *tolerance)
+	report, failures := compare(base, fresh, *tolerance, *allocTol)
 	fmt.Print(report)
 	if *outPath != "" {
 		full := report
@@ -254,5 +268,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("\nall %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *tolerance*100)
+	fmt.Printf("\nall %d benchmarks within tolerance (ns/op %.0f%%, allocs/op %+.0f%%)\n",
+		len(base.Benchmarks), *tolerance*100, *allocTol*100)
 }

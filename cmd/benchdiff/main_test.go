@@ -83,11 +83,11 @@ func TestCompare(t *testing.T) {
 	fresh := map[string]BenchStat{
 		"BenchmarkA": {NsPerOp: 1100, AllocsPerOp: 100}, // within 15%
 		"BenchmarkB": {NsPerOp: 1200, AllocsPerOp: 100}, // ns/op regression
-		"BenchmarkC": {NsPerOp: 900, AllocsPerOp: 120},  // allocs regression
+		"BenchmarkC": {NsPerOp: 900, AllocsPerOp: 101},  // allocs regression (exact gate)
 		// BenchmarkD missing
 		"BenchmarkE": {NsPerOp: 1, AllocsPerOp: 1}, // extra: ignored
 	}
-	report, failures := compare(base, fresh, 0.15)
+	report, failures := compare(base, fresh, 0.15, 0)
 	if len(failures) != 3 {
 		t.Fatalf("failures = %v, want 3 entries", failures)
 	}
@@ -111,22 +111,40 @@ func TestCompare(t *testing.T) {
 		"BenchmarkB": {NsPerOp: 500, AllocsPerOp: 50},
 		"BenchmarkC": {NsPerOp: 500, AllocsPerOp: 50},
 		"BenchmarkD": {NsPerOp: 500, AllocsPerOp: 50},
-	}, 0.15)
+	}, 0.15, 0)
 	if len(ok) != 0 {
 		t.Errorf("improvements reported as failures: %v", ok)
 	}
 }
 
-func TestCompareZeroAllocBaseline(t *testing.T) {
-	// A zero-alloc baseline cannot use the relative band; it must not
-	// fail on equal zeros (cache-hit benchmarks live at 0 allocs/op).
+func TestCompareAllocGateExact(t *testing.T) {
+	// The default alloc gate is exact: equal passes, +1 fails — even
+	// from a zero-alloc baseline (cache-hit and pooled-encode
+	// benchmarks live at 0 allocs/op, and 0 → 1 is a real regression).
 	base := Baseline{Benchmarks: map[string]BenchStat{
-		"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkHit":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkSteady": {NsPerOp: 100, AllocsPerOp: 8},
 	}}
 	_, failures := compare(base, map[string]BenchStat{
-		"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0},
-	}, 0.15)
+		"BenchmarkHit":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkSteady": {NsPerOp: 100, AllocsPerOp: 8},
+	}, 0.15, 0)
 	if len(failures) != 0 {
-		t.Errorf("zero-alloc benchmark failed: %v", failures)
+		t.Errorf("exact-equal allocs failed: %v", failures)
+	}
+	_, failures = compare(base, map[string]BenchStat{
+		"BenchmarkHit":    {NsPerOp: 100, AllocsPerOp: 1},
+		"BenchmarkSteady": {NsPerOp: 100, AllocsPerOp: 9},
+	}, 0.15, 0)
+	if len(failures) != 2 {
+		t.Errorf("alloc increases under the exact gate = %v, want 2 failures", failures)
+	}
+	// A non-zero alloc tolerance loosens the gate.
+	_, failures = compare(base, map[string]BenchStat{
+		"BenchmarkHit":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkSteady": {NsPerOp: 100, AllocsPerOp: 9},
+	}, 0.15, 0.20)
+	if len(failures) != 0 {
+		t.Errorf("+12.5%% allocs under 20%% tolerance failed: %v", failures)
 	}
 }

@@ -17,8 +17,12 @@
 //	gridsim -experiment all          # everything
 //	gridsim -parallel -clients 8 -ops 10000   # concurrent stress + throughput
 //	gridsim -parallel -shards 4               # same, against a 4-shard broker
+//	gridsim -parallel -intake                 # admissions ride the group-commit batch path
+//	gridsim -parallel -transport http         # admissions over the loopback JSON API
 //	gridsim -chaos -seed 7 -faultrate 0.2     # deterministic fault-injection replay
 //	gridsim -chaos -restarts 3 -seed 7        # restart chaos: kill + WAL-recover the broker mid-workload
+//	gridsim -chaos -intake -seed 7            # same replays with batched admissions (still bit-identical per seed)
+//	gridsim -intake-bench -json               # amortized admission cost: direct vs batched vs JSON/HTTP
 //	gridsim -scenario list                    # the workload scenario catalog
 //	gridsim -scenario flash-crowd -seed 7     # replay one scenario, gate on its report
 //	gridsim -scenario all -soak -json         # soak every scenario, emit BENCH_scenarios.json
@@ -54,24 +58,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment id (E56, C1..C5, T1..T4, F4, F6, all)")
-		seed       = fs.Int64("seed", 2003, "workload seed")
-		verbose    = fs.Bool("v", false, "include broker activity logs")
-		parallel   = fs.Bool("parallel", false, "run the concurrent admission stress instead of an experiment")
-		clients    = fs.Int("clients", 8, "concurrent clients for -parallel")
-		ops        = fs.Int("ops", 10000, "total lifecycle operations for -parallel")
-		phases     = fs.Int("phases", 10, "quiesce points for -parallel")
-		shards     = fs.Int("shards", 1, "broker shards for the -parallel run (serial baseline stays monolithic)")
-		jsonOut    = fs.Bool("json", false, "emit -parallel/-chaos results as JSON")
-		chaos      = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
-		faultRate  = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
-		restarts   = fs.Int("restarts", 0, "with -chaos: kill and WAL-recover the broker this many times mid-workload")
-		walDir     = fs.String("wal-dir", "", "WAL directory for -chaos -restarts (default: a temporary one)")
-		cache      = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
-		scenario   = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
-		soak       = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
-		clusterN   = fs.Int("cluster", 0, "run the multi-broker harness with N broker instances behind the front tier")
-		placement  = fs.String("placement", "hash", "front-tier placement for -cluster: hash|least-loaded")
+		experiment  = fs.String("experiment", "all", "experiment id (E56, C1..C5, T1..T4, F4, F6, all)")
+		seed        = fs.Int64("seed", 2003, "workload seed")
+		verbose     = fs.Bool("v", false, "include broker activity logs")
+		parallel    = fs.Bool("parallel", false, "run the concurrent admission stress instead of an experiment")
+		clients     = fs.Int("clients", 8, "concurrent clients for -parallel")
+		ops         = fs.Int("ops", 10000, "total lifecycle operations for -parallel")
+		phases      = fs.Int("phases", 10, "quiesce points for -parallel")
+		shards      = fs.Int("shards", 1, "broker shards for the -parallel run (serial baseline stays monolithic)")
+		jsonOut     = fs.Bool("json", false, "emit -parallel/-chaos results as JSON")
+		chaos       = fs.Bool("chaos", false, "replay the stress workload under deterministic fault injection")
+		faultRate   = fs.Float64("faultrate", 0.2, "per-site fault injection probability for -chaos")
+		restarts    = fs.Int("restarts", 0, "with -chaos: kill and WAL-recover the broker this many times mid-workload")
+		walDir      = fs.String("wal-dir", "", "WAL directory for -chaos -restarts (default: a temporary one)")
+		cache       = fs.String("cache", "on", "hot-path caches for -parallel: on|off")
+		intake      = fs.Bool("intake", false, "route admissions through the group-commit intake for -parallel/-chaos runs")
+		transport   = fs.String("transport", "", "admission transport for -parallel: empty (in-process) or http (loopback JSON API)")
+		intakeBench = fs.Bool("intake-bench", false, "measure amortized admission cost: direct vs batched intake vs JSON/HTTP transport")
+		scenario    = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
+		soak        = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
+		clusterN    = fs.Int("cluster", 0, "run the multi-broker harness with N broker instances behind the front tier")
+		placement   = fs.String("placement", "hash", "front-tier placement for -cluster: hash|least-loaded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +90,12 @@ func run(args []string) error {
 		disableCaches = true
 	default:
 		return fmt.Errorf("bad -cache value %q (want on or off)", *cache)
+	}
+	if *intakeBench {
+		return runIntakeBench(*jsonOut)
+	}
+	if *transport != "" && !*parallel {
+		return fmt.Errorf("-transport needs -parallel (the chaos replays stay in-process for determinism)")
 	}
 	if *clusterN > 0 {
 		// -clients doubles as the cluster workload size, but its stress
@@ -104,15 +117,15 @@ func run(args []string) error {
 	}
 	if *chaos {
 		if *restarts > 0 {
-			return runRestartChaos(*clients, *ops, *restarts, *shards, *seed, *faultRate, *walDir, *jsonOut)
+			return runRestartChaos(*clients, *ops, *restarts, *shards, *seed, *faultRate, *walDir, *intake, *jsonOut)
 		}
-		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *jsonOut)
+		return runChaos(*clients, *ops, *phases, *shards, *seed, *faultRate, *intake, *jsonOut)
 	}
 	if *restarts > 0 {
 		return fmt.Errorf("-restarts needs -chaos")
 	}
 	if *parallel {
-		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut, disableCaches)
+		return runParallel(*clients, *ops, *phases, *shards, *seed, *jsonOut, disableCaches, *intake, *transport)
 	}
 
 	runners := map[string]func(int64, bool) error{
@@ -151,8 +164,11 @@ func run(args []string) error {
 // registry so the serial baseline's counters do not pollute the parallel
 // run's. The JSON form is the shape recorded in BENCH_parallel.json (see
 // README.md "Benchmark artifact").
-func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableCaches bool) error {
+func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableCaches bool, intake bool, transport string) error {
 	serialObs, parObs := obs.NewRegistry(), obs.NewRegistry()
+	// The serial baseline always takes the direct in-process path; -intake
+	// and -transport only shape the parallel run, so the comparison shows
+	// what the batch path / wire cost changes.
 	serial, err := sim.RunParallel(sim.ParallelConfig{
 		Clients: 1, Ops: ops, Phases: phases, Seed: seed, Obs: serialObs,
 		DisableCaches: disableCaches,
@@ -162,7 +178,7 @@ func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableC
 	}
 	par, err := sim.RunParallel(sim.ParallelConfig{
 		Clients: clients, Ops: ops, Phases: phases, Seed: seed, Shards: shards, Obs: parObs,
-		DisableCaches: disableCaches,
+		DisableCaches: disableCaches, Intake: intake, Transport: transport,
 	})
 	if err != nil {
 		return fmt.Errorf("parallel stress: %w", err)
@@ -190,6 +206,12 @@ func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableC
 		if row.r.CacheHitRate > 0 {
 			fmt.Printf("%-9s discovery cache hit rate %.1f%%\n", "", row.r.CacheHitRate*100)
 		}
+		if row.r.Intake {
+			fmt.Printf("%-9s intake: mean batch %.2f admissions/flush\n", "", row.r.IntakeBatchMean)
+		}
+		if row.r.Transport != "" {
+			fmt.Printf("%-9s transport: %s\n", "", row.r.Transport)
+		}
 		if row.r.Shards > 1 {
 			fmt.Printf("%-9s shard sessions=%v load=%v\n", "", row.r.ShardSessions, row.r.ShardUtilization)
 		}
@@ -207,10 +229,10 @@ func runParallel(clients, ops, phases, shards int, seed int64, jsonOut, disableC
 // fault rate and shard count yield a byte-identical JSON report. The
 // JSON form is the shape recorded in BENCH_chaos.json (see README.md
 // "Chaos artifact"); CI gates on invariant_violations == 0.
-func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, jsonOut bool) error {
+func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, intake, jsonOut bool) error {
 	res, err := sim.RunChaos(sim.ChaosConfig{
 		Clients: clients, Ops: ops, Phases: phases, Seed: seed,
-		FaultRate: faultRate, Shards: shards,
+		FaultRate: faultRate, Shards: shards, Intake: intake,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)
@@ -231,6 +253,9 @@ func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, j
 		fmt.Printf("retries=%d timeouts=%d unavailable=%d reconciled cancels=%d\n",
 			res.Retries, res.Timeouts, res.Unavailable, res.ReconciledCancels)
 		fmt.Printf("degradations=%d restorations=%d\n", res.Degradations, res.Restorations)
+		if res.Intake {
+			fmt.Printf("intake: mean batch %.2f admissions/flush\n", res.IntakeBatchMean)
+		}
 		fmt.Printf("invariant checks=%d violations=%d\n", res.Checks, res.InvariantViolations)
 	}
 	if res.InvariantViolations != 0 {
@@ -247,10 +272,10 @@ func runChaos(clients, ops, phases, shards int, seed int64, faultRate float64, j
 // wall-clock field is recovery_p95_ms — CI strips it and diffs the rest
 // byte-for-byte across runs, and gates on invariant_violations == 0 and
 // capacity_restored == true.
-func runRestartChaos(clients, ops, restarts, shards int, seed int64, faultRate float64, walDir string, jsonOut bool) error {
+func runRestartChaos(clients, ops, restarts, shards int, seed int64, faultRate float64, walDir string, intake, jsonOut bool) error {
 	res, err := sim.RunRestartChaos(sim.RestartChaosConfig{
 		Clients: clients, Ops: ops, Restarts: restarts, Seed: seed,
-		FaultRate: faultRate, Shards: shards, WALDir: walDir,
+		FaultRate: faultRate, Shards: shards, WALDir: walDir, Intake: intake,
 	})
 	if err != nil {
 		return fmt.Errorf("restart chaos: %w", err)

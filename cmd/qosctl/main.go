@@ -18,9 +18,15 @@
 //	qosctl -broker http://localhost:8080 besteffort -client me -cpu 4
 //	qosctl -broker http://localhost:8080 metrics
 //	qosctl load -endpoints http://localhost:8080,http://localhost:8081
+//
+// The -transport flag picks the wire protocol: soap (default, the
+// paper-faithful reference) or http (the compact JSON API under
+// /api/v1/ — no envelope, typed errors round-trip). verify and
+// accept_promotion are SOAP-only operations.
 package main
 
 import (
+	"encoding/json"
 	"encoding/xml"
 	"flag"
 	"fmt"
@@ -32,6 +38,7 @@ import (
 
 	"gqosm"
 	"gqosm/internal/core"
+	"gqosm/internal/httpapi"
 	"gqosm/internal/sla"
 )
 
@@ -45,6 +52,7 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("qosctl", flag.ContinueOnError)
 	broker := global.String("broker", "http://localhost:8080", "AQoS broker endpoint")
+	transport := global.String("transport", "soap", "wire protocol: soap | http (the compact JSON API)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -52,29 +60,58 @@ func run(args []string) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: request | accept | reject | invoke | verify | terminate | besteffort | metrics | load")
 	}
-	client := gqosm.NewBrokerClient(*broker)
+	w, err := newWire(*transport, *broker)
+	if err != nil {
+		return err
+	}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
 	case "request":
-		return doRequest(client, rest)
+		return doRequest(w, rest)
 	case "accept", "reject", "invoke", "terminate", "accept_promotion":
-		return doAction(client, cmd, rest)
+		return doAction(w, cmd, rest)
 	case "renegotiate":
-		return doRenegotiate(client, rest)
+		return doRenegotiate(w, rest)
 	case "verify":
-		return doVerify(client, rest)
+		return doVerify(w, rest)
 	case "besteffort":
-		return doBestEffort(client, rest)
+		return doBestEffort(w, rest)
 	case "metrics":
 		return doMetrics(*broker, rest)
 	case "load":
-		return doLoad(*broker, rest)
+		return doLoad(w, *broker, rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 }
 
-func doRequest(client *core.Client, args []string) error {
+// wire abstracts the two client transports behind the subcommands:
+// exactly one of soap/json is set.
+type wire struct {
+	soap *core.Client
+	json *httpapi.Client
+}
+
+func newWire(transport, endpoint string) (*wire, error) {
+	switch transport {
+	case "soap":
+		return &wire{soap: gqosm.NewBrokerClient(endpoint)}, nil
+	case "http":
+		return &wire{json: gqosm.NewJSONBrokerClient(endpoint)}, nil
+	default:
+		return nil, fmt.Errorf("bad -transport %q (want soap or http)", transport)
+	}
+}
+
+// loadReport fetches one endpoint's load report on the wire's transport.
+func (w *wire) loadReport(endpoint string) (core.LoadReport, error) {
+	if w.json != nil {
+		return gqosm.NewJSONBrokerClient(endpoint).LoadReport()
+	}
+	return core.NewClient(endpoint).LoadReport()
+}
+
+func doRequest(w *wire, args []string) error {
 	fs := flag.NewFlagSet("request", flag.ContinueOnError)
 	var (
 		service  = fs.String("service", "simulation", "service name")
@@ -120,7 +157,7 @@ func doRequest(client *core.Client, args []string) error {
 	spec.SourceIP, spec.DestIP = *src, *dst
 
 	now := time.Now()
-	offer, err := client.RequestService(gqosm.Request{
+	req := gqosm.Request{
 		Service:           *service,
 		Client:            *clientID,
 		Class:             cls,
@@ -130,7 +167,21 @@ func doRequest(client *core.Client, args []string) error {
 		Budget:            *budget,
 		AcceptDegradation: *degrade,
 		PromotionOptIn:    *promo,
-	})
+	}
+	if w.json != nil {
+		offer, err := w.json.RequestService(req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offer: SLA %s, price %.2f, expires %s\n", offer.SLAID, offer.Price, offer.Expires)
+		out, err := json.MarshalIndent(offer, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	offer, err := w.soap.RequestService(req)
 	if err != nil {
 		return err
 	}
@@ -143,7 +194,7 @@ func doRequest(client *core.Client, args []string) error {
 	return nil
 }
 
-func doAction(client *core.Client, action string, args []string) error {
+func doAction(w *wire, action string, args []string) error {
 	fs := flag.NewFlagSet(action, flag.ContinueOnError)
 	id := fs.String("sla", "", "SLA ID")
 	reason := fs.String("reason", "", "reason (terminate)")
@@ -153,7 +204,18 @@ func doAction(client *core.Client, action string, args []string) error {
 	if *id == "" {
 		return fmt.Errorf("-sla is required")
 	}
-	detail, err := client.Act(sla.ID(*id), action, *reason)
+	var (
+		detail string
+		err    error
+	)
+	if w.json != nil {
+		if action == "accept_promotion" {
+			return fmt.Errorf("accept_promotion is SOAP-only; use -transport soap")
+		}
+		detail, err = w.json.Act(sla.ID(*id), action, *reason)
+	} else {
+		detail, err = w.soap.Act(sla.ID(*id), action, *reason)
+	}
 	if err != nil {
 		return err
 	}
@@ -165,7 +227,7 @@ func doAction(client *core.Client, action string, args []string) error {
 	return nil
 }
 
-func doRenegotiate(client *core.Client, args []string) error {
+func doRenegotiate(w *wire, args []string) error {
 	fs := flag.NewFlagSet("renegotiate", flag.ContinueOnError)
 	var (
 		id     = fs.String("sla", "", "SLA ID")
@@ -198,7 +260,15 @@ func doRenegotiate(client *core.Client, args []string) error {
 	if *bw > 0 {
 		params = append(params, gqosm.Exact(gqosm.BandwidthMbps, *bw))
 	}
-	detail, err := client.Renegotiate(sla.ID(*id), gqosm.NewSpec(params...))
+	var (
+		detail string
+		err    error
+	)
+	if w.json != nil {
+		detail, err = w.json.Renegotiate(sla.ID(*id), gqosm.NewSpec(params...))
+	} else {
+		detail, err = w.soap.Renegotiate(sla.ID(*id), gqosm.NewSpec(params...))
+	}
 	if err != nil {
 		return err
 	}
@@ -206,7 +276,7 @@ func doRenegotiate(client *core.Client, args []string) error {
 	return nil
 }
 
-func doVerify(client *core.Client, args []string) error {
+func doVerify(w *wire, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	id := fs.String("sla", "", "SLA ID")
 	if err := fs.Parse(args); err != nil {
@@ -215,7 +285,10 @@ func doVerify(client *core.Client, args []string) error {
 	if *id == "" {
 		return fmt.Errorf("-sla is required")
 	}
-	levels, err := client.Verify(sla.ID(*id))
+	if w.json != nil {
+		return fmt.Errorf("verify is SOAP-only; use -transport soap")
+	}
+	levels, err := w.soap.Verify(sla.ID(*id))
 	if err != nil {
 		return err
 	}
@@ -227,7 +300,7 @@ func doVerify(client *core.Client, args []string) error {
 	return nil
 }
 
-func doBestEffort(client *core.Client, args []string) error {
+func doBestEffort(w *wire, args []string) error {
 	fs := flag.NewFlagSet("besteffort", flag.ContinueOnError)
 	var (
 		clientID = fs.String("client", "qosctl", "client identity")
@@ -240,7 +313,13 @@ func doBestEffort(client *core.Client, args []string) error {
 		return err
 	}
 	amount := gqosm.Capacity{CPU: *cpu, MemoryMB: *memory, DiskGB: *disk}
-	if err := client.BestEffort(*clientID, amount, *release); err != nil {
+	var err error
+	if w.json != nil {
+		err = w.json.BestEffort(*clientID, amount, *release)
+	} else {
+		err = w.soap.BestEffort(*clientID, amount, *release)
+	}
+	if err != nil {
 		return err
 	}
 	if *release {
@@ -255,7 +334,7 @@ func doBestEffort(client *core.Client, args []string) error {
 // cluster front tier's least-loaded placement routes on. With
 // -endpoints it walks a comma-separated multi-broker deployment; the
 // default is the single -broker endpoint.
-func doLoad(broker string, args []string) error {
+func doLoad(w *wire, broker string, args []string) error {
 	fs := flag.NewFlagSet("load", flag.ContinueOnError)
 	endpoints := fs.String("endpoints", "", "comma-separated broker endpoints (default: the -broker one)")
 	if err := fs.Parse(args); err != nil {
@@ -272,7 +351,7 @@ func doLoad(broker string, args []string) error {
 		if ep == "" {
 			continue
 		}
-		r, err := core.NewClient(ep).LoadReport()
+		r, err := w.loadReport(ep)
 		if err != nil {
 			fmt.Printf("%-24s %-10s %8s %8s  unreachable: %v\n", ep, "-", "-", "-", err)
 			if firstErr == nil {

@@ -37,6 +37,7 @@ import (
 	"gqosm/internal/faultx"
 	"gqosm/internal/gara"
 	"gqosm/internal/gram"
+	"gqosm/internal/httpapi"
 	"gqosm/internal/mds"
 	"gqosm/internal/nrm"
 	"gqosm/internal/obs"
@@ -90,6 +91,13 @@ type (
 	FaultInjector = faultx.Injector
 	// FaultPlan configures injection at one site or as the default.
 	FaultPlan = faultx.Plan
+	// IntakeConfig enables and sizes the broker's group-commit admission
+	// intake (StackConfig.Intake): queued admissions are committed in one
+	// allocator pass and one WAL fsync per batch.
+	IntakeConfig = core.IntakeConfig
+	// IntakeTicket is a queued admission's future (Broker.Submit);
+	// Wait blocks until the batch it joined is flushed.
+	IntakeTicket = core.IntakeTicket
 )
 
 // Fault kinds for FaultPlan.Kinds.
@@ -198,6 +206,12 @@ type StackConfig struct {
 	// WALSnapshotEvery is the snapshot cadence in WAL records (0 = the
 	// package default, 256). Only meaningful with WALDir.
 	WALSnapshotEvery int
+	// Intake enables the group-commit admission intake: concurrent
+	// admissions (notably JSON-API requests, which ride SubmitWait)
+	// queued behind the same flush leader share one allocator pass and
+	// one WAL fsync. The zero value keeps RequestService as the only
+	// admission path.
+	Intake IntakeConfig
 }
 
 // Stack is an assembled single-domain deployment: the AQoS broker wired to
@@ -332,6 +346,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Faults:           cfg.Faults,
 		RMPolicy:         cfg.RMPolicy,
 		Durability:       core.DurabilityConfig{Dir: cfg.WALDir, SnapshotEvery: cfg.WALSnapshotEvery},
+		Intake:           cfg.Intake,
 	}
 	// A WAL directory that already holds state means this start is a
 	// RESTART: recover the previous broker's sessions and reconcile
@@ -432,13 +447,16 @@ func attachJobs(gramM *gram.Manager, sched *dsrt.Scheduler, adapter *core.DSRTAd
 }
 
 // Mount installs the broker's SOAP endpoints on a fresh mux implementing
-// http.Handler (the Fig. 5 deployment), plus the Prometheus metrics
-// exposition on GET /metrics.
+// http.Handler (the Fig. 5 deployment), plus the compact JSON API under
+// /api/v1/ (package httpapi — the lean transport; with Intake enabled
+// its admissions ride the group-commit batch path) and the Prometheus
+// metrics exposition on GET /metrics. One listener serves all three.
 func (s *Stack) Mount() *soapx.Mux {
 	mux := soapx.NewMux()
 	mux.Faults = s.Faults
 	s.Broker.Mount(mux)
 	s.Registry.Mount(mux)
+	httpapi.NewServer(s.Broker).Mount(mux)
 	mux.HandleHTTP("/metrics", s.Obs.Handler())
 	return mux
 }
@@ -460,3 +478,9 @@ func NewTopology() *nrm.Topology { return nrm.NewTopology() }
 
 // NewBrokerClient returns a typed SOAP client for a remote AQoS broker.
 func NewBrokerClient(endpoint string) *core.Client { return core.NewClient(endpoint) }
+
+// NewJSONBrokerClient returns a typed client for a remote AQoS broker's
+// compact JSON API (the lean transport mounted under /api/v1/). Typed
+// broker errors round-trip: errors.Is against core.ErrOverBudget &c.
+// works through the wire.
+func NewJSONBrokerClient(endpoint string) *httpapi.Client { return httpapi.NewClient(endpoint) }

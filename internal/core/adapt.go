@@ -360,7 +360,20 @@ func (a *Allocator) AllocateGuaranteed(user string, requested, floor resource.Ca
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	res, err := a.allocateGuaranteedLocked(user, requested, floor)
+	if err != nil {
+		return GrantResult{}, err
+	}
+	res.Preempted = a.rebalanceLocked()
+	a.publishLocked()
+	return res, nil
+}
 
+// allocateGuaranteedLocked is the Algorithm-1 admission core shared by
+// AllocateGuaranteed and AllocateGuaranteedBatch. The caller holds a.mu
+// and is responsible for running rebalanceLocked + publishLocked after
+// its grant(s) — that is exactly what the batch path amortizes.
+func (a *Allocator) allocateGuaranteedLocked(user string, requested, floor resource.Capacity) (GrantResult, error) {
 	prev, hadPrev := a.guaranteed[user]
 	base := a.gDemandLocked()
 	if hadPrev {
@@ -396,9 +409,52 @@ func (a *Allocator) AllocateGuaranteed(user string, requested, floor resource.Ca
 
 	a.guaranteed[user] = res.Granted
 	a.floors[user] = floor
-	res.Preempted = a.rebalanceLocked()
-	a.publishLocked()
 	return res, nil
+}
+
+// GuaranteedAsk is one member of a batch admission (see
+// AllocateGuaranteedBatch).
+type GuaranteedAsk struct {
+	User      string
+	Requested resource.Capacity
+	Floor     resource.Capacity
+}
+
+// AllocateGuaranteedBatch admits asks in order under ONE critical
+// section — the group-commit admission pass. Each ask receives exactly
+// the grant a sequence of individual AllocateGuaranteed calls would
+// have produced (the book updates between members), but the
+// per-admission lock acquisition, best-effort rebalance and read-view
+// publication are paid once per batch instead of once per request.
+// grants[i] / errs[i] report member i's outcome; failed members
+// (ErrCannotHonor, validation) leave the book untouched. The single
+// rebalance's preemptions are returned in aggregate rather than
+// attached to any one grant (every grant's Preempted field is nil).
+func (a *Allocator) AllocateGuaranteedBatch(asks []GuaranteedAsk) (grants []GrantResult, errs []error, preempted []Preemption) {
+	grants = make([]GrantResult, len(asks))
+	errs = make([]error, len(asks))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	granted := false
+	for i, ask := range asks {
+		if !ask.Floor.FitsIn(ask.Requested) {
+			errs[i] = fmt.Errorf("core: floor %v exceeds request %v", ask.Floor, ask.Requested)
+			continue
+		}
+		if !ask.Requested.IsNonNegative() {
+			errs[i] = fmt.Errorf("core: negative request %v", ask.Requested)
+			continue
+		}
+		grants[i], errs[i] = a.allocateGuaranteedLocked(ask.User, ask.Requested, ask.Floor)
+		if errs[i] == nil {
+			granted = true
+		}
+	}
+	if granted {
+		preempted = a.rebalanceLocked()
+		a.publishLocked()
+	}
+	return grants, errs, preempted
 }
 
 // ReleaseGuaranteed frees a guaranteed user's allocation (service

@@ -119,6 +119,10 @@ type Config struct {
 	// Durability enables the write-ahead lifecycle log (see durable.go).
 	// The zero value keeps the historical in-memory-only broker.
 	Durability DurabilityConfig
+	// Intake enables the batched group-commit admission pipeline (see
+	// intake.go). The zero value keeps RequestService as the only
+	// admission path.
+	Intake IntakeConfig
 }
 
 // Event is one entry of the broker activity log (the Fig. 6 console).
@@ -244,6 +248,10 @@ type Broker struct {
 	// site a no-op (the historical in-memory broker). See durable.go.
 	durable *wal.Log
 
+	// intake is the batched group-commit admission pipeline; nil on
+	// brokers built without Config.Intake.Enabled. See intake.go.
+	intake *intake
+
 	// recovering is true from the start of Recover until its RM
 	// reconciliation sweep has finished. It gates the public
 	// ReconcileReservations so a monitor that re-arms early cannot race
@@ -351,6 +359,9 @@ func newBroker(cfg Config) (*Broker, error) {
 	if cfg.NRM != nil {
 		cfg.NRM.Subscribe(b.onNetworkDegradation)
 	}
+	if cfg.Intake.Enabled {
+		b.intake = newIntake(b, cfg.Intake, b.obs)
+	}
 	return b, nil
 }
 
@@ -361,6 +372,9 @@ func newBroker(cfg Config) (*Broker, error) {
 func (b *Broker) Close() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
+	}
+	if b.intake != nil {
+		b.intake.close(ErrClosed)
 	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()

@@ -31,9 +31,10 @@ type harness struct {
 	netMgr *nrm.Manager
 	reg    *registry.Registry
 	gramM  *gram.Manager
+	g      *gara.System
 }
 
-func newHarness(t *testing.T) *harness {
+func newHarness(t testing.TB, mods ...func(*Config)) *harness {
 	t.Helper()
 	clock := clockx.NewManual(t0)
 
@@ -85,7 +86,7 @@ func newHarness(t *testing.T) *harness {
 	gramM := gram.NewManager(clock)
 	t.Cleanup(gramM.Close)
 
-	broker, err := NewBroker(Config{
+	cfg := Config{
 		Domain: "site-a",
 		Clock:  clock,
 		Plan: CapacityPlan{
@@ -99,12 +100,16 @@ func newHarness(t *testing.T) *harness {
 		NRM:           netMgr,
 		MDS:           dir,
 		ConfirmWindow: 2 * time.Minute,
-	})
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	broker, err := NewBroker(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(broker.Close)
-	return &harness{clock: clock, broker: broker, pool: pool, topo: topo, netMgr: netMgr, reg: reg, gramM: gramM}
+	return &harness{clock: clock, broker: broker, pool: pool, topo: topo, netMgr: netMgr, reg: reg, gramM: gramM, g: g}
 }
 
 // guaranteedRequest is a §5.6-style composite request: 10 nodes, 2 GB,

@@ -96,6 +96,11 @@ func (b *Broker) Crash() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
+	if b.intake != nil {
+		// A dead process resolves nothing: queued admissions simply never
+		// happened (they were not yet journaled), so their tickets fail.
+		b.intake.close(ErrClosed)
+	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		for _, s := range sh.sessions {
@@ -149,6 +154,45 @@ func (b *Broker) journal(op string, id sla.ID) {
 			Aux:     auxRecord(sh),
 			NextID:  b.nextID.Load(),
 		})
+	}
+	sh.mu.Unlock()
+	b.maybeSnapshot()
+}
+
+// journalBatch journals the absolute post-state of every session a
+// group-commit flush installed on sh, as individual per-session records
+// landed through one wal.AppendBatch — one fsync for the batch, but
+// each record is framed and CRC'd on its own, so replay and the
+// crash-point matrix treat them exactly like serial journal records (a
+// crash mid-batch recovers the CRC-clean prefix; the RM reconciliation
+// sweep refunds the reservations of the unlogged tail, the same
+// guarantee an un-journaled serial proposal has).
+func (b *Broker) journalBatch(op string, sh *shard, ids []sla.ID) {
+	if b.durable == nil || len(ids) == 0 {
+		return
+	}
+	recs := make([]wal.Record, 0, len(ids))
+	sh.mu.Lock()
+	for _, id := range ids {
+		if s, ok := sh.sessions[id]; ok {
+			// AppendBatch marshals synchronously under the shard lock, so
+			// the live doc pointers are safe and clone-free, as in journal.
+			recs = append(recs, wal.Record{
+				At:      b.clock.Now(),
+				Op:      op,
+				Session: sessionRecordLocked(sh, id, s),
+				Aux:     auxRecord(sh),
+				NextID:  b.nextID.Load(),
+			})
+		}
+	}
+	if len(recs) > 0 {
+		if _, err := b.durable.AppendBatch(recs); err != nil {
+			b.met.walFailures.Inc()
+			b.logf("wal", "", "batch append failed, durable history sealed: %v", err)
+		} else {
+			b.met.walRecords.Add(int64(len(recs)))
+		}
 	}
 	sh.mu.Unlock()
 	b.maybeSnapshot()

@@ -311,7 +311,7 @@ func (b *Broker) ImportSession(st *HandoffState) error {
 		return fmt.Errorf("core: import %s: %w", id, lastErr)
 	}
 
-	spec := reservationRSL(doc.Spec, alloc, string(id))
+	spec := reservationRSL(doc.Spec, alloc)
 	handle, err := b.pol.callCreate("gara.create", string(id), func() (gara.Handle, error) {
 		return b.cfg.GARA.Create(spec, doc.Start, doc.End, string(id))
 	})

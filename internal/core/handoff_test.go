@@ -301,7 +301,7 @@ func TestRecoverReclaimsHalfImportedReservation(t *testing.T) {
 	b.handoffs[id] = handoffIntent{dir: "in", peer: "srcdom"}
 	b.journalHandoffsLocked("handoff-import")
 	b.hoMu.Unlock()
-	if _, err := dst.g.Create(reservationRSL(spec, alloc, string(id)), t0, t5, string(id)); err != nil {
+	if _, err := dst.g.Create(reservationRSL(spec, alloc), t0, t5, string(id)); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 

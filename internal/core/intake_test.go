@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// intakeRequest is a small guaranteed ask (1 CPU) so a full batch of
+// eight fits the 15-CPU guaranteed plan with room to spare.
+func intakeRequest(client string) Request {
+	return Request{
+		Service: "simulation",
+		Client:  client,
+		Class:   sla.ClassGuaranteed,
+		Spec:    sla.NewSpec(sla.Exact(resource.CPU, 1)),
+		Start:   t0,
+		End:     t5,
+	}
+}
+
+func withIntake(cfg IntakeConfig) func(*Config) {
+	return func(c *Config) { c.Intake = cfg }
+}
+
+// TestIntakeGroupCommitOneFsync is the group-commit contract on disk: a
+// batch of eight admissions lands through one wal.AppendBatch — eight
+// journal records, ONE fsync — where the direct path would have paid
+// eight.
+func TestIntakeGroupCommitOneFsync(t *testing.T) {
+	h := newDurableHarness(t, 0, withIntake(IntakeConfig{Enabled: true, MaxBatch: 32}))
+	b := h.broker
+
+	appends0, syncs0, _ := b.WALStats()
+	tickets := make([]*IntakeTicket, 8)
+	for i := range tickets {
+		tk, err := b.Submit(intakeRequest(fmt.Sprintf("batch-%d", i)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if tk.Resolved() {
+			t.Fatalf("ticket %d resolved before any flush", i)
+		}
+		tickets[i] = tk
+	}
+	if got := b.IntakePending(); got != 8 {
+		t.Fatalf("IntakePending = %d, want 8", got)
+	}
+	b.FlushIntake()
+	if got := b.IntakePending(); got != 0 {
+		t.Fatalf("IntakePending after flush = %d, want 0", got)
+	}
+	for i, tk := range tickets {
+		offer, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if offer == nil || offer.SLA == nil {
+			t.Fatalf("ticket %d: fulfilled without an offer", i)
+		}
+	}
+	appends1, syncs1, _ := b.WALStats()
+	if got := appends1 - appends0; got != 8 {
+		t.Errorf("journal records for the batch = %d, want 8 (one per session)", got)
+	}
+	if got := syncs1 - syncs0; got != 1 {
+		t.Errorf("fsyncs for the batch = %d, want 1 (the group commit)", got)
+	}
+}
+
+// TestIntakeBackpressure: a full shard queue refuses with ErrIntakeFull
+// instead of blocking or growing without bound, and the queued tickets
+// still resolve at the next flush.
+func TestIntakeBackpressure(t *testing.T) {
+	h := newHarness(t, withIntake(IntakeConfig{Enabled: true, MaxBatch: 64, Depth: 2}))
+	b := h.broker
+
+	t1, err := b.Submit(intakeRequest("bp-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := b.Submit(intakeRequest("bp-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(intakeRequest("bp-2")); !errors.Is(err, ErrIntakeFull) {
+		t.Fatalf("third Submit at Depth=2: err = %v, want ErrIntakeFull", err)
+	}
+	b.FlushIntake()
+	for i, tk := range []*IntakeTicket{t1, t2} {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("queued ticket %d after flush: %v", i, err)
+		}
+	}
+	// The queue drained, so the refused client's retry goes through.
+	if _, err := b.Submit(intakeRequest("bp-2")); err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	b.FlushIntake()
+}
+
+// TestIntakeSubmitWaitParity: an admission through the batch path yields
+// the same offer — price, allocation, expiry — as the identical request
+// through the direct path, and inline failures (validation, unknown
+// service, over budget) surface identically.
+func TestIntakeSubmitWaitParity(t *testing.T) {
+	direct := newHarness(t)
+	batched := newHarness(t, withIntake(IntakeConfig{Enabled: true}))
+
+	want, err := direct.broker.RequestService(guaranteedRequest())
+	if err != nil {
+		t.Fatalf("direct RequestService: %v", err)
+	}
+	got, err := batched.broker.SubmitWait(guaranteedRequest())
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if got.Price != want.Price {
+		t.Errorf("price: batch path %v, direct %v", got.Price, want.Price)
+	}
+	if !got.Expires.Equal(want.Expires) {
+		t.Errorf("expiry: batch path %v, direct %v", got.Expires, want.Expires)
+	}
+	if got.SLA.Class != want.SLA.Class || got.Compensated != want.Compensated {
+		t.Errorf("offer shape differs: batch %+v, direct %+v", got, want)
+	}
+
+	// Inline failure parity: a request for a service nobody registered
+	// fails at Submit, before any ticket exists.
+	bad := guaranteedRequest()
+	bad.Service = "no-such-service"
+	_, directErr := direct.broker.RequestService(bad)
+	_, batchErr := batched.broker.SubmitWait(bad)
+	if !errors.Is(batchErr, ErrNoService) || !errors.Is(directErr, ErrNoService) {
+		t.Errorf("unknown service: batch %v, direct %v, want ErrNoService from both", batchErr, directErr)
+	}
+	empty := Request{}
+	if _, err := batched.broker.Submit(empty); err == nil {
+		t.Error("Submit accepted an invalid request")
+	}
+}
+
+// TestIntakeRecoveryAfterBatchedPropose: sessions journaled by a group
+// commit survive a crash exactly like direct-path sessions — the batch
+// amortizes the fsync, not the durability.
+func TestIntakeRecoveryAfterBatchedPropose(t *testing.T) {
+	h := newDurableHarness(t, 0, withIntake(IntakeConfig{Enabled: true, MaxBatch: 32}))
+
+	tickets := make([]*IntakeTicket, 8)
+	for i := range tickets {
+		tk, err := h.broker.Submit(intakeRequest(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	h.broker.FlushIntake()
+	// Drive half the batch to accepted so recovery covers both the
+	// proposed and the accepted lifecycles out of one journal batch.
+	for i, tk := range tickets {
+		offer, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			if err := h.broker.Accept(offer.SLA.ID); err != nil {
+				t.Fatalf("Accept %d: %v", i, err)
+			}
+		}
+	}
+
+	before := mustJSON(t, digest(h.broker))
+	h.crashAndRecover(t)
+	after := mustJSON(t, digest(h.broker))
+	if before != after {
+		t.Fatalf("state digest changed across crash/recover:\nbefore: %s\nafter:  %s", before, after)
+	}
+	// The recovered broker keeps its configured intake.
+	if !h.broker.IntakeEnabled() {
+		t.Fatal("recovered broker lost its intake")
+	}
+	if _, err := h.broker.SubmitWait(intakeRequest("rec-after")); err != nil {
+		t.Fatalf("SubmitWait on recovered broker: %v", err)
+	}
+}
+
+// TestIntakeClosedFailsQueued: Close (and Crash) must fail every queued
+// ticket with ErrClosed — an unresolved ticket would hang its waiter
+// forever.
+func TestIntakeClosedFailsQueued(t *testing.T) {
+	h := newHarness(t, withIntake(IntakeConfig{Enabled: true, MaxBatch: 64}))
+	b := h.broker
+
+	tickets := make([]*IntakeTicket, 3)
+	for i := range tickets {
+		tk, err := b.Submit(intakeRequest(fmt.Sprintf("closed-%d", i)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	b.Close()
+	for i, tk := range tickets {
+		if _, err := tk.Wait(); !errors.Is(err, ErrClosed) {
+			t.Errorf("ticket %d after Close: err = %v, want ErrClosed", i, err)
+		}
+	}
+	if _, err := b.Submit(intakeRequest("late")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestIntakeFlushEveryTimer: with FlushEvery set, a lone queued
+// admission (below MaxBatch) is flushed when the idle timer fires on the
+// manual clock — the latency bound for quiet periods.
+func TestIntakeFlushEveryTimer(t *testing.T) {
+	h := newHarness(t, withIntake(IntakeConfig{
+		Enabled: true, MaxBatch: 32, FlushEvery: 30 * time.Second,
+	}))
+	b := h.broker
+
+	tk, err := b.Submit(intakeRequest("timer-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Resolved() {
+		t.Fatal("ticket resolved before the idle timer fired")
+	}
+	h.clock.Advance(30 * time.Second)
+	offer, err := tk.Wait()
+	if err != nil {
+		t.Fatalf("ticket after timer flush: %v", err)
+	}
+	if offer == nil {
+		t.Fatal("timer flush fulfilled the ticket without an offer")
+	}
+	// The timer re-arms for later submissions, not just the first.
+	tk2, err := b.Submit(intakeRequest("timer-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.clock.Advance(30 * time.Second)
+	if _, err := tk2.Wait(); err != nil {
+		t.Fatalf("second timer flush: %v", err)
+	}
+}
+
+// TestIntakeMaxBatchInlineFlush: the MaxBatch-th Submit triggers the
+// flush inline — no timer, no explicit FlushIntake needed.
+func TestIntakeMaxBatchInlineFlush(t *testing.T) {
+	h := newHarness(t, withIntake(IntakeConfig{Enabled: true, MaxBatch: 4}))
+	b := h.broker
+
+	tickets := make([]*IntakeTicket, 4)
+	for i := range tickets {
+		tk, err := b.Submit(intakeRequest(fmt.Sprintf("inline-%d", i)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		if !tk.Resolved() {
+			t.Fatalf("ticket %d unresolved after MaxBatch submissions", i)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+}
+
+// TestIntakeDisabledByDefault: a broker built without IntakeConfig
+// refuses Submit and reports no intake — the historical direct-path
+// configuration is unchanged.
+func TestIntakeDisabledByDefault(t *testing.T) {
+	h := newHarness(t)
+	if h.broker.IntakeEnabled() {
+		t.Fatal("intake enabled without configuration")
+	}
+	if n := h.broker.IntakePending(); n != 0 {
+		t.Fatalf("IntakePending on disabled intake = %d, want 0", n)
+	}
+	if _, err := h.broker.Submit(intakeRequest("x")); err == nil {
+		t.Fatal("Submit succeeded on a broker without an intake")
+	}
+	h.broker.FlushIntake() // must be a harmless no-op
+}
+
+// TestIntakeBudgetRefusalBurnsNoID: a member refused for budget inside a
+// batch must not consume an SLA ID, so the surviving members' IDs — and
+// therefore every downstream digest — match a run where the refused
+// request never arrived.
+func TestIntakeBudgetRefusalBurnsNoID(t *testing.T) {
+	h := newHarness(t, withIntake(IntakeConfig{Enabled: true, MaxBatch: 32}))
+	b := h.broker
+
+	rich := intakeRequest("payer")
+	poor := intakeRequest("pauper")
+	poor.Budget = 0.000001 // below any quoted price
+
+	tkPoor, err := b.Submit(poor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkRich, err := b.Submit(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FlushIntake()
+	if _, err := tkPoor.Wait(); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("pauper: err = %v, want ErrOverBudget", err)
+	}
+	offer, err := tkRich.Wait()
+	if err != nil {
+		t.Fatalf("payer: %v", err)
+	}
+
+	// A clean broker admitting only the payer must mint the same ID.
+	ref := newHarness(t, withIntake(IntakeConfig{Enabled: true, MaxBatch: 32}))
+	refOffer, err := ref.broker.SubmitWait(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offer.SLA.ID != refOffer.SLA.ID {
+		t.Errorf("budget refusal burned an SLA ID: got %s, want %s", offer.SLA.ID, refOffer.SLA.ID)
+	}
+}
+
+// BenchmarkIntakeAdmission measures amortized admission cost through the
+// group-commit path at batch 8 — the acceptance target is sub-10 µs
+// amortized. Rejection and pruning are untimed cleanup, mirroring the
+// request/reject discipline of BenchmarkSerialAdmission.
+func BenchmarkIntakeAdmission(b *testing.B) {
+	h := newHarness(b, withIntake(IntakeConfig{Enabled: true, MaxBatch: 64}))
+	br := h.broker
+	const batch = 8
+	reqs := make([]Request, batch)
+	for i := range reqs {
+		reqs[i] = intakeRequest(fmt.Sprintf("bench-intake-%d", i))
+	}
+	tickets := make([]*IntakeTicket, batch)
+	ids := make([]sla.ID, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		for i, req := range reqs {
+			tk, err := br.Submit(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickets[i] = tk
+		}
+		br.FlushIntake()
+		ids = ids[:0]
+		for _, tk := range tickets {
+			offer, err := tk.Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, offer.SLA.ID)
+		}
+		b.StopTimer()
+		for _, id := range ids {
+			if err := br.Reject(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		br.PruneTerminal()
+		h.g.PruneCanceled()
+		b.StartTimer()
+	}
+}

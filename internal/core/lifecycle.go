@@ -350,7 +350,7 @@ func (b *Broker) restore(id sla.ID) error {
 // passes bill=false.
 func (b *Broker) applyAllocation(id sla.ID, handle gara.Handle, spec sla.Spec, c resource.Capacity, bill bool) error {
 	if err := b.pol.call("gara.modify", func() error {
-		return b.cfg.GARA.Modify(handle, reservationRSL(spec, c, string(id)))
+		return b.cfg.GARA.Modify(handle, reservationRSL(spec, c))
 	}); err != nil {
 		// The caller already moved the allocator to c; with the modify
 		// refused, the document (and billing) will keep the old quality,

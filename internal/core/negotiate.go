@@ -218,7 +218,7 @@ func (b *Broker) requestOnShard(sh *shard, req Request, key registry.Key, floor 
 	// Mechanism: temporary GARA reservation, created idempotently: a
 	// retry after a lost reply adopts the reservation already committed
 	// under this SLA's tag instead of double-committing it.
-	spec := reservationRSL(req.Spec, allocated, string(id))
+	spec := reservationRSL(req.Spec, allocated)
 	handle, err := b.pol.callCreate("gara.create", string(id), func() (gara.Handle, error) {
 		return b.cfg.GARA.Create(spec, req.Start, req.End, string(id))
 	})
@@ -629,7 +629,13 @@ func (b *Broker) newSLAID() sla.ID {
 // reservationRSL renders the GARA request for a spec at the allocated
 // capacity: a compute part for CPU/memory/disk and a network part for
 // bandwidth, combined into a multirequest when both are present.
-func reservationRSL(spec sla.Spec, alloc resource.Capacity, tag string) string {
+//
+// The string is a pure function of (spec shape, allocation) — the
+// session's idempotency tag travels as Create's explicit tag argument,
+// never inside the RSL. That keeps identical asks rendering identical
+// strings, so rsl.ParseCached hits on every repeat admission instead of
+// parsing a unique string per session.
+func reservationRSL(spec sla.Spec, alloc resource.Capacity) string {
 	_, hasCPU := spec.Params[resource.CPU]
 	_, hasMem := spec.Params[resource.MemoryMB]
 	_, hasDisk := spec.Params[resource.DiskGB]
@@ -664,9 +670,6 @@ func reservationRSL(spec sla.Spec, alloc resource.Capacity, tag string) string {
 			buf = strconv.AppendFloat(buf, alloc.DiskGB, 'f', -1, 64)
 			buf = append(buf, ')')
 		}
-		buf = append(buf, "(label="...)
-		buf = strconv.AppendQuote(buf, tag)
-		buf = append(buf, ')')
 		if multi {
 			buf = append(buf, ')', '(')
 		}
@@ -678,8 +681,6 @@ func reservationRSL(spec sla.Spec, alloc resource.Capacity, tag string) string {
 		buf = strconv.AppendQuote(buf, spec.DestIP)
 		buf = append(buf, ")(bandwidth="...)
 		buf = strconv.AppendFloat(buf, alloc.BandwidthMbps, 'f', -1, 64)
-		buf = append(buf, ")(label="...)
-		buf = strconv.AppendQuote(buf, tag)
 		buf = append(buf, ')')
 	}
 	if multi {

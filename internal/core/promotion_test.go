@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"strings"
 	"testing"
 	"time"
 
@@ -248,14 +247,10 @@ func TestVerifyAfterNetworkModify(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = sess
-	// Locate the session handle via its reservations.
-	var handle gara.Handle
-	for _, r := range h.broker.cfg.GARA.Reservations() {
-		if strings.Contains(r.Spec, string(id)) {
-			handle = r.Handle
-		}
-	}
-	if handle == "" {
+	// Locate the session's reservation by its idempotency tag (the RSL
+	// string itself is tag-free so identical asks share a cached parse).
+	handle, ok := h.broker.cfg.GARA.FindByTag(string(id))
+	if !ok {
 		t.Fatal("no reservation found")
 	}
 	if err := h.broker.cfg.GARA.Modify(handle,

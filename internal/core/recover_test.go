@@ -39,7 +39,7 @@ type durableHarness struct {
 	inj    *faultx.Injector
 }
 
-func newDurableHarness(t *testing.T, snapshotEvery int) *durableHarness {
+func newDurableHarness(t *testing.T, snapshotEvery int, mods ...func(*Config)) *durableHarness {
 	t.Helper()
 	clock := clockx.NewManual(t0)
 	inj := faultx.New(1, clock)
@@ -104,6 +104,9 @@ func newDurableHarness(t *testing.T, snapshotEvery int) *durableHarness {
 		Faults:        inj,
 		RMPolicy:      RetryPolicy{Attempts: 2},
 		Durability:    DurabilityConfig{Dir: t.TempDir(), SnapshotEvery: snapshotEvery},
+	}
+	for _, mod := range mods {
+		mod(&cfg)
 	}
 	broker, err := NewBroker(cfg)
 	if err != nil {

@@ -104,7 +104,7 @@ func (b *Broker) Renegotiate(id sla.ID, newSpec sla.Spec) (*RenegotiationResult,
 
 	// Push the new reservation; on failure roll the allocator back.
 	if err := b.pol.call("gara.modify", func() error {
-		return b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted, string(id)))
+		return b.cfg.GARA.Modify(handle, reservationRSL(newSpec, granted))
 	}); err != nil {
 		_, _ = b.allocateLive(id, oldAlloc, oldSpec.Floor())
 		b.journalShardAux("rollback", sh)

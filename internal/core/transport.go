@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"gqosm/internal/obs"
 	"gqosm/internal/resource"
 	"gqosm/internal/sla"
 	"gqosm/internal/soapx"
@@ -21,7 +22,21 @@ import (
 // sla_action (accept / reject / invoke / terminate / verify /
 // accept_promotion — the Fig. 7 client actions), and best_effort_request.
 func (b *Broker) Mount(mux *soapx.Mux) {
+	// Per-transport traffic counters: the JSON API registers the same
+	// family with transport="http", so dashboards see the split.
+	count := func(op string) *obs.Counter {
+		return b.obs.Counter("gqosm_transport_requests_total",
+			"Requests served per transport and operation",
+			"transport", "soap", "op", op)
+	}
+	serviceRequests := count("service_request")
+	slaActions := count("sla_action")
+	renegotiations := count("renegotiate_request")
+	loadReports := count("load_report_request")
+	bestEfforts := count("best_effort_request")
+
 	mux.Handle("service_request", func(body []byte) (any, error) {
+		serviceRequests.Inc()
 		var req xmlmsg.ServiceRequestXML
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, err
@@ -42,6 +57,7 @@ func (b *Broker) Mount(mux *soapx.Mux) {
 	})
 
 	mux.Handle("sla_action", func(body []byte) (any, error) {
+		slaActions.Inc()
 		var req xmlmsg.SLAActionXML
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, err
@@ -83,6 +99,7 @@ func (b *Broker) Mount(mux *soapx.Mux) {
 	})
 
 	mux.Handle("renegotiate_request", func(body []byte) (any, error) {
+		renegotiations.Inc()
 		var req xmlmsg.RenegotiateRequestXML
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, err
@@ -103,6 +120,7 @@ func (b *Broker) Mount(mux *soapx.Mux) {
 	})
 
 	mux.Handle("load_report_request", func(body []byte) (any, error) {
+		loadReports.Inc()
 		r := b.LoadReport()
 		return &xmlmsg.LoadReportXML{
 			Domain:     r.Domain,
@@ -113,6 +131,7 @@ func (b *Broker) Mount(mux *soapx.Mux) {
 	})
 
 	mux.Handle("best_effort_request", func(body []byte) (any, error) {
+		bestEfforts.Inc()
 		var req xmlmsg.BestEffortRequestXML
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, err

@@ -130,6 +130,12 @@ type System struct {
 	nextID   int
 	managers map[string]ResourceManager
 	res      map[Handle]*Reservation
+	// byTag indexes live (non-canceled) reservations by their idempotency
+	// tag, so FindByTag — consulted on the admission hot path before every
+	// create attempt — is a map lookup, not a table scan. Entries are
+	// removed on Cancel; the slice is almost always length 1 (several live
+	// handles under one tag means a double-commit bug upstream).
+	byTag map[string][]Handle
 	// met holds nil-safe reservation lifecycle counters; zero until
 	// Instrument is called.
 	met garaMetrics
@@ -177,6 +183,7 @@ func NewSystem() *System {
 	return &System{
 		managers: make(map[string]ResourceManager),
 		res:      make(map[Handle]*Reservation),
+		byTag:    make(map[string][]Handle),
 	}
 }
 
@@ -272,6 +279,9 @@ func (s *System) create(reqRSL string, start, end time.Time, tag string) (Handle
 		r.Parts[p.rmType] = p.token
 	}
 	s.res[h] = r
+	if tag != "" {
+		s.byTag[tag] = append(s.byTag[tag], h)
+	}
 	return h, nil
 }
 
@@ -343,6 +353,7 @@ func (s *System) Cancel(h Handle) error {
 		return fmt.Errorf("%w: %s", ErrCanceled, h)
 	}
 	r.Status = StatusCanceled
+	s.dropTagLocked(r.Tag, h)
 	s.met.canceled.Inc()
 	type pair struct {
 		rm    ResourceManager
@@ -438,15 +449,31 @@ func (s *System) FindByTag(tag string) (Handle, bool) {
 		best  Handle
 		found bool
 	)
-	for h, r := range s.res {
-		if r.Tag != tag || r.Status == StatusCanceled {
-			continue
-		}
+	for _, h := range s.byTag[tag] {
 		if !found || handleLess(h, best) {
 			best, found = h, true
 		}
 	}
 	return best, found
+}
+
+// dropTagLocked removes h from the tag index. Callers hold s.mu.
+func (s *System) dropTagLocked(tag string, h Handle) {
+	if tag == "" {
+		return
+	}
+	live := s.byTag[tag]
+	for i, cand := range live {
+		if cand == h {
+			live = append(live[:i], live[i+1:]...)
+			break
+		}
+	}
+	if len(live) == 0 {
+		delete(s.byTag, tag)
+	} else {
+		s.byTag[tag] = live
+	}
 }
 
 func handleLess(a, b Handle) bool {

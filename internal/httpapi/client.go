@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gqosm/internal/core"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// Client is the typed JSON-API counterpart of core.Client: same
+// operations, same retry discipline (transport failures may be
+// resent; typed API errors are definitive answers and never retried),
+// but wire errors come back as the broker's own sentinels — errors.Is
+// against core.ErrOverBudget &c. works through the transport.
+type Client struct {
+	// Endpoint is the broker's base URL (no /api/v1 suffix).
+	Endpoint string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Retries is the number of extra attempts after a transport-level
+	// failure; 0 keeps a single attempt.
+	Retries int
+	// RetryDelay is the pause between attempts, in real time.
+	RetryDelay time.Duration
+}
+
+// NewClient returns a client for the broker at endpoint.
+func NewClient(endpoint string) *Client {
+	return &Client{Endpoint: endpoint}
+}
+
+// call posts body to op (or GETs when body is nil) and decodes the JSON
+// response into out, under the transport-retry budget.
+func (c *Client) call(method, op string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("httpapi: marshal request: %w", err)
+		}
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(method, op, payload, out)
+		if err == nil || !isTransportErr(err) || attempt >= c.Retries {
+			return err
+		}
+		if c.RetryDelay > 0 {
+			time.Sleep(c.RetryDelay)
+		}
+	}
+}
+
+func isTransportErr(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrTransport {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func (c *Client) do(method, op string, payload []byte, out any) error {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := c.Endpoint + Prefix + op
+	var (
+		resp *http.Response
+		err  error
+	)
+	if method == http.MethodGet {
+		resp, err = hc.Get(url)
+	} else {
+		resp, err = hc.Post(url, "application/json", bytes.NewReader(payload))
+	}
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w (%v)", method, url, ErrTransport, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return fmt.Errorf("httpapi: read response: %w (%v)", ErrTransport, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorJSON
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error.Code == "" {
+			return fmt.Errorf("httpapi: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return decodeError(e.Error.Code, e.Error.Message)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("httpapi: decode response: %w (%v)", ErrTransport, err)
+	}
+	return nil
+}
+
+// RequestService sends an admission request and returns the offer.
+func (c *Client) RequestService(r core.Request) (*OfferJSON, error) {
+	req := RequestJSON{
+		Service:           r.Service,
+		Client:            r.Client,
+		Class:             r.Class.String(),
+		Spec:              encodeSpec(r.Spec),
+		Start:             r.Start,
+		End:               r.End,
+		Budget:            r.Budget,
+		AcceptDegradation: r.AcceptDegradation,
+		AcceptTermination: r.AcceptTermination,
+		PromotionOptIn:    r.PromotionOptIn,
+		ShardHint:         r.ShardHint,
+	}
+	var out OfferJSON
+	if err := c.call(http.MethodPost, "request", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Act performs a lifecycle action ("accept", "reject", "invoke",
+// "terminate") and returns the acknowledgement detail.
+func (c *Client) Act(id sla.ID, action, reason string) (string, error) {
+	var out AckJSON
+	err := c.call(http.MethodPost, action, &ActionJSON{ID: string(id), Reason: reason}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.Detail, nil
+}
+
+// Renegotiate replaces a live session's QoS specification remotely.
+func (c *Client) Renegotiate(id sla.ID, spec sla.Spec) (string, error) {
+	sj := encodeSpec(spec)
+	var out AckJSON
+	err := c.call(http.MethodPost, "renegotiate", &ActionJSON{ID: string(id), Spec: &sj}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.Detail, nil
+}
+
+// BestEffort requests (or releases) best-effort capacity.
+func (c *Client) BestEffort(client string, amount resource.Capacity, release bool) error {
+	return c.call(http.MethodPost, "best-effort", &BestEffortJSON{
+		Client:   client,
+		CPU:      amount.CPU,
+		MemoryMB: amount.MemoryMB,
+		DiskGB:   amount.DiskGB,
+		Release:  release,
+	}, nil)
+}
+
+// Session fetches a session snapshot.
+func (c *Client) Session(id sla.ID) (*OfferJSON, error) {
+	var out OfferJSON
+	if err := c.call(http.MethodGet, "session?id="+string(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LoadReport fetches the broker's current load for front-tier
+// placement.
+func (c *Client) LoadReport() (core.LoadReport, error) {
+	var out core.LoadReport
+	if err := c.call(http.MethodGet, "load", nil, &out); err != nil {
+		return core.LoadReport{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gqosm/internal/core"
+	"gqosm/internal/resource"
+	"gqosm/internal/sla"
+)
+
+// TestErrorTaxonomyRoundTrip pins the transport contract: every typed
+// broker error maps to its own (status, code) pair, and decoding the
+// code reconstructs an error that errors.Is-matches the original
+// sentinel — remote callers branch on the same sentinels as in-process
+// ones.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	seen := map[string]error{}
+	for _, row := range taxonomy {
+		status, code := classify(fmt.Errorf("wrapped: %w", row.err))
+		if status != row.status || code != row.code {
+			t.Errorf("classify(%v) = (%d, %q), want (%d, %q)", row.err, status, code, row.status, row.code)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("code %q maps both %v and %v", code, prev, row.err)
+		}
+		seen[code] = row.err
+
+		decoded := decodeError(code, "boom")
+		if row.err == errBadRequest {
+			// bad_request has no broker sentinel to reconstruct; the
+			// decoded error must still carry the code for operators.
+			if decoded == nil {
+				t.Errorf("decodeError(%q) = nil", code)
+			}
+			continue
+		}
+		if !errors.Is(decoded, row.err) {
+			t.Errorf("decodeError(%q) does not match %v: %v", code, row.err, decoded)
+		}
+	}
+	// Errors outside the table are internal — never leaked as a typed
+	// sentinel on the wire.
+	if status, code := classify(errors.New("disk on fire")); status != 500 || code != "internal" {
+		t.Errorf("untyped error classified as (%d, %q)", status, code)
+	}
+	if err := decodeError("internal", "boom"); err == nil {
+		t.Error("decodeError(internal) = nil")
+	}
+}
+
+// TestTaxonomyStatusesAreDistinctPerCode guards against two sentinels
+// silently collapsing onto one wire identity when rows are added.
+func TestTaxonomyStatusesAreDistinctPerCode(t *testing.T) {
+	type key struct {
+		status int
+		code   string
+	}
+	seen := map[key]bool{}
+	for _, row := range taxonomy {
+		k := key{row.status, row.code}
+		if seen[k] {
+			t.Errorf("duplicate wire identity %+v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func benchOffer() *core.Offer {
+	return &core.Offer{
+		SLA: &sla.Document{
+			ID:    "site-a-sla-0042",
+			State: sla.StateProposed,
+			Class: sla.ClassGuaranteed,
+			Allocated: resource.Capacity{
+				CPU: 10, MemoryMB: 2048, DiskGB: 15, BandwidthMbps: 45,
+			},
+		},
+		Price:      37.5,
+		Expires:    time.Date(2003, 6, 16, 9, 2, 0, 0, time.UTC),
+		ServiceKey: "simulation@site-a",
+	}
+}
+
+// TestOfferEncodeRoundTrip: the hand-rolled appendOffer output is valid
+// JSON that decodes into the wire OfferJSON the client uses.
+func TestOfferEncodeRoundTrip(t *testing.T) {
+	o := benchOffer()
+	data := appendOffer(nil, o)
+	var out OfferJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("appendOffer output is not JSON: %v\n%s", err, data)
+	}
+	if out.SLAID != string(o.SLA.ID) || out.Price != o.Price ||
+		out.Class != o.SLA.Class.String() || !out.Expires.Equal(o.Expires) {
+		t.Errorf("decoded %+v does not match offer %+v", out, o)
+	}
+	if out.Allocated.CPU != 10 || out.Allocated.BandwidthMbps != 45 {
+		t.Errorf("allocated capacity lost: %+v", out.Allocated)
+	}
+}
+
+// TestOfferEncodeAllocGate enforces the steady-state allocation budget
+// on the JSON transport's hot-path encode: at most 8 allocs per offer
+// with a pooled buffer (in practice the pooled path allocates zero; the
+// gate leaves room for runtime noise).
+func TestOfferEncodeAllocGate(t *testing.T) {
+	o := benchOffer()
+	// Warm the pool so the measurement sees steady state.
+	buf := getBuf()
+	*buf = appendOffer((*buf)[:0], o)
+	putBuf(buf)
+	avg := testing.AllocsPerRun(200, func() {
+		buf := getBuf()
+		*buf = appendOffer((*buf)[:0], o)
+		putBuf(buf)
+	})
+	if avg > 8 {
+		t.Errorf("offer encode allocates %.1f allocs/op, budget is 8", avg)
+	}
+}
+
+// BenchmarkHTTPOfferEncode is the CI-gated number for the JSON
+// transport's response encode (ns/op within tolerance, allocs/op
+// exact).
+func BenchmarkHTTPOfferEncode(b *testing.B) {
+	o := benchOffer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := getBuf()
+		*buf = appendOffer((*buf)[:0], o)
+		putBuf(buf)
+	}
+}

@@ -1,0 +1,200 @@
+package httpapi_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gqosm/internal/core"
+	"gqosm/internal/httpapi"
+	"gqosm/internal/resource"
+	"gqosm/internal/sim"
+	"gqosm/internal/sla"
+	"gqosm/internal/soapx"
+)
+
+// apiFixture is a broker with the JSON API mounted beside a SOAP mux on
+// one httptest listener — the production topology in miniature.
+func apiFixture(t *testing.T, intake bool) (*sim.Cluster, *httpapi.Client) {
+	t.Helper()
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Plan:   sim.DefaultParallelPlan(),
+		Intake: core.IntakeConfig{Enabled: intake},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mux := soapx.NewMux()
+	httpapi.NewServer(c.Broker).Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return c, httpapi.NewClient(srv.URL)
+}
+
+func wireRequest(client string) core.Request {
+	return core.Request{
+		Service: "simulation",
+		Client:  client,
+		Class:   sla.ClassGuaranteed,
+		Spec:    sla.NewSpec(sla.Exact(resource.CPU, 2)),
+		Start:   sim.Epoch,
+		End:     sim.Epoch.Add(time.Hour),
+	}
+}
+
+// TestWireLifecycle drives request → accept → invoke → session →
+// terminate entirely over the JSON transport, on both the direct and
+// the intake-enabled broker.
+func TestWireLifecycle(t *testing.T) {
+	for _, intake := range []bool{false, true} {
+		name := "direct"
+		if intake {
+			name = "intake"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, client := apiFixture(t, intake)
+
+			offer, err := client.RequestService(wireRequest("wire-1"))
+			if err != nil {
+				t.Fatalf("RequestService: %v", err)
+			}
+			if offer.SLAID == "" || offer.Price <= 0 {
+				t.Fatalf("implausible offer: %+v", offer)
+			}
+			id := sla.ID(offer.SLAID)
+			if _, err := client.Act(id, "accept", ""); err != nil {
+				t.Fatalf("accept: %v", err)
+			}
+			if detail, err := client.Act(id, "invoke", ""); err != nil || !strings.Contains(detail, "job") {
+				t.Fatalf("invoke: detail=%q err=%v", detail, err)
+			}
+			sess, err := client.Session(id)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if sess.SLAID != offer.SLAID || sess.Allocated.CPU != 2 {
+				t.Errorf("session snapshot %+v does not match offer %+v", sess, offer)
+			}
+			if _, err := client.Act(id, "terminate", "done"); err != nil {
+				t.Fatalf("terminate: %v", err)
+			}
+			// Terminal sessions linger in the working set until pruned;
+			// the load report must still come back over the wire.
+			load, err := client.LoadReport()
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if load.Domain == "" || load.Sessions != 1 {
+				t.Errorf("implausible load report: %+v", load)
+			}
+		})
+	}
+}
+
+// TestWireErrorTaxonomy provokes representative taxonomy rows through
+// the real server and checks the client reconstructs the broker's
+// sentinels — plus raw status codes for the rows a typed client never
+// produces.
+func TestWireErrorTaxonomy(t *testing.T) {
+	c, client := apiFixture(t, false)
+
+	if _, err := client.Session("no-such-session"); !errors.Is(err, core.ErrUnknownSession) {
+		t.Errorf("unknown session: %v, want ErrUnknownSession", err)
+	}
+	if _, err := client.Act("no-such-session", "accept", ""); !errors.Is(err, core.ErrUnknownSession) {
+		t.Errorf("accept unknown: %v, want ErrUnknownSession", err)
+	}
+	req := wireRequest("broke")
+	req.Budget = 0.000001
+	if _, err := client.RequestService(req); !errors.Is(err, core.ErrOverBudget) {
+		t.Errorf("over budget: %v, want ErrOverBudget", err)
+	}
+	req = wireRequest("lost")
+	req.Service = "no-such-service"
+	if _, err := client.RequestService(req); !errors.Is(err, core.ErrNoService) {
+		t.Errorf("no service: %v, want ErrNoService", err)
+	}
+	// Double-accept lands in ErrBadState.
+	offer, err := client.RequestService(wireRequest("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Act(sla.ID(offer.SLAID), "accept", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Act(sla.ID(offer.SLAID), "accept", ""); !errors.Is(err, core.ErrBadState) {
+		t.Errorf("double accept: %v, want ErrBadState", err)
+	}
+	// A closed broker answers 503/closed.
+	c.Broker.Close()
+	if _, err := client.RequestService(wireRequest("late")); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("closed broker: %v, want ErrClosed", err)
+	}
+}
+
+// TestWireMalformedRequests exercises the rows below the broker:
+// unparseable JSON, missing IDs, wrong method, unknown endpoint.
+func TestWireMalformedRequests(t *testing.T) {
+	_, client := apiFixture(t, false)
+	base := client.Endpoint + httpapi.Prefix
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post("request", "{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+	if resp := post("accept", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id = %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(base + "request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET request = %d Allow=%q, want 405 Allow=POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	if resp := post("frobnicate", `{}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown endpoint = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMountBesideSOAP: one listener, both transports — the JSON subtree
+// must not shadow SOAP dispatch at the root, and vice versa.
+func TestMountBesideSOAP(t *testing.T) {
+	c, err := sim.NewCluster(sim.ClusterConfig{Plan: sim.DefaultParallelPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mux := soapx.NewMux()
+	c.Broker.Mount(mux)
+	httpapi.NewServer(c.Broker).Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	soapClient := &core.Client{SOAP: soapx.Client{Endpoint: srv.URL + "/"}}
+	offer, err := soapClient.RequestService(wireRequest("soap-side"))
+	if err != nil {
+		t.Fatalf("SOAP RequestService beside JSON mount: %v", err)
+	}
+	jsonClient := httpapi.NewClient(srv.URL)
+	sess, err := jsonClient.Session(sla.ID(offer.SLA.SLAID))
+	if err != nil {
+		t.Fatalf("JSON Session of SOAP-created session: %v", err)
+	}
+	if sess.SLAID != offer.SLA.SLAID {
+		t.Errorf("cross-transport session mismatch: %q vs %q", sess.SLAID, offer.SLA.SLAID)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"gqosm/internal/gara"
 	"gqosm/internal/pricing"
 	"gqosm/internal/resource"
+	"gqosm/internal/sla"
 )
 
 // Violation is one broken invariant.
@@ -38,7 +39,8 @@ type Violation struct {
 	// "partition-overfull", "guaranteed-overcommit",
 	// "domain-overcommit", "terminal-grant", "live-no-grant",
 	// "double-grant", "sla-unsatisfied", "doc-allocator-skew",
-	// "orphan-grant", "ledger-nan", and from CheckReservations:
+	// "orphan-grant", "proposed-no-reservation", "ledger-nan"; from
+	// CheckIntake: "intake-undrained"; and from CheckReservations:
 	// "duplicate-reservation-tag", "leaked-reservation",
 	// "missing-refund").
 	Rule string
@@ -202,11 +204,40 @@ func brokerViolations(b *core.Broker) []Violation {
 		}
 	}
 
+	// Rule 6 (batch atomicity): a flushed intake batch never leaves a
+	// partially installed admission. Every member either installs
+	// completely — grant, GARA reservation, session, route — or rolls
+	// back completely, so a Proposed session with no reservation handle
+	// is the footprint of a torn batch member. Holds on the direct path
+	// too (proposal never outruns its reservation there either).
+	for _, s := range b.SessionInfos() {
+		if s.State == sla.StateProposed && s.Handle == "" {
+			vs = append(vs, Violation{
+				Rule:   "proposed-no-reservation",
+				Detail: fmt.Sprintf("session %s is proposed with no GARA reservation handle", s.ID),
+			})
+		}
+	}
+
 	// Rule 5: accounting sanity.
 	if rev := b.Ledger().NetRevenue(); rev != rev { // NaN check
 		vs = append(vs, Violation{Rule: "ledger-nan", Detail: "net revenue is NaN"})
 	}
 	return vs
+}
+
+// CheckIntake verifies that the intake queues are fully drained — every
+// submitted admission was flushed and resolved. It is a quiesce-point
+// rule, not part of Check: between a Submit and its flush a non-empty
+// queue is normal, so the debug hook must not see this rule.
+func CheckIntake(b *core.Broker) error {
+	if n := b.IntakePending(); n != 0 {
+		return wrap([]Violation{{
+			Rule:   "intake-undrained",
+			Detail: fmt.Sprintf("%d admission(s) still queued at a quiesce point", n),
+		}})
+	}
+	return nil
 }
 
 // ReservationCheck configures CheckReservations.

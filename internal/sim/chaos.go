@@ -52,6 +52,12 @@ type ChaosConfig struct {
 	Shards int
 	// Obs receives the run's metrics; nil creates a private registry.
 	Obs *obs.Registry
+	// Intake routes admissions through the broker's group-commit intake:
+	// clients Submit during a round-robin round, the harness flushes once
+	// per round and resolves tickets in schedule order, so batches form
+	// deterministically (up to Clients admissions per shard per flush).
+	// The run stays bit-identical per (Seed, FaultRate, Shards, Intake).
+	Intake bool
 }
 
 // ChaosResult reports a RunChaos run. Every field is deterministic for
@@ -65,6 +71,12 @@ type ChaosResult struct {
 	Clients   int     `json:"clients"`
 	Ops       int     `json:"ops"`
 	Phases    int     `json:"phases"`
+
+	// Intake reports whether admissions rode the group-commit batch
+	// path; IntakeBatchMean is the mean flushed batch size. Omitted for
+	// direct-path runs so historical reports keep their schema.
+	Intake          bool    `json:"intake,omitempty"`
+	IntakeBatchMean float64 `json:"intake_batch_mean,omitempty"`
 
 	// Requested / Admitted / Terminated count successful lifecycle
 	// transitions; AdmitRate is Admitted / Requested.
@@ -152,18 +164,24 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		// advancing time. Timed-out hang attempts charge the 2 s
 		// deadline to the virtual latency accounting instead.
 		RMPolicy: core.RetryPolicy{Attempts: 3, Timeout: 2 * time.Second, Seed: cfg.Seed},
+		Intake:   core.IntakeConfig{Enabled: cfg.Intake},
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer cluster.Close()
 
+	mode := admitDirect
+	if cfg.Intake {
+		mode = admitQueue
+	}
 	clients := make([]*parClient, cfg.Clients)
 	for i := range clients {
 		clients[i] = &parClient{
-			id:      i,
-			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
-			cluster: cluster,
+			id:         i,
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			cluster:    cluster,
+			intakeMode: mode,
 		}
 	}
 	perPhase := cfg.Ops / (cfg.Clients * cfg.Phases)
@@ -198,11 +216,21 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			for _, cl := range clients {
 				cl.step()
 			}
+			if cfg.Intake {
+				// One deterministic group commit per round: everything
+				// the round submitted flushes together, and tickets
+				// resolve in schedule order.
+				cluster.Broker.FlushIntake()
+				for _, cl := range clients {
+					cl.resolveTickets()
+				}
+			}
 		}
 		stage := fmt.Sprintf("phase %d", phase)
 		res.Checks++
 		record(stage, invariant.CheckAll(cluster.Broker, clock.Now(), cluster.Pool))
 		record(stage, invariant.CheckReservations(cluster.Broker, cluster.GARA, invariant.ReservationCheck{}))
+		record(stage, invariant.CheckIntake(cluster.Broker))
 	}
 
 	// Final drain on a healthy substrate: injection off (crash windows
@@ -252,5 +280,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.FaultsInjected = inj.Total()
 	res.FaultsByKind = inj.CountsByKind()
 	res.VirtualP95MS = inj.VirtualP95MS()
+	if cfg.Intake {
+		res.Intake = true
+		submitted := cfg.Obs.Counter("gqosm_intake_submitted_total",
+			"Admissions accepted into the intake queues").Value()
+		flushes := cfg.Obs.Counter("gqosm_intake_flushes_total",
+			"Group-commit flushes executed").Value()
+		if flushes > 0 {
+			res.IntakeBatchMean = float64(submitted) / float64(flushes)
+		}
+	}
 	return res, nil
 }

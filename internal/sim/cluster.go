@@ -76,6 +76,10 @@ type ClusterConfig struct {
 	// broker after a crash. The zero value keeps the historical
 	// in-memory broker.
 	WAL core.DurabilityConfig
+	// Intake forwarded to the broker: enables the batched group-commit
+	// admission pipeline (Submit/SubmitWait/FlushIntake). The zero value
+	// keeps RequestService as the only admission path.
+	Intake core.IntakeConfig
 }
 
 // Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
@@ -194,6 +198,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Faults:           cfg.Faults,
 		RMPolicy:         cfg.RMPolicy,
 		Durability:       cfg.WAL,
+		Intake:           cfg.Intake,
 	}
 	broker, err := core.NewBroker(brokerCfg)
 	if err != nil {

@@ -3,11 +3,14 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"gqosm/internal/core"
+	"gqosm/internal/httpapi"
 	"gqosm/internal/invariant"
 	"gqosm/internal/obs"
 	"gqosm/internal/resource"
@@ -46,6 +49,18 @@ type ParallelConfig struct {
 	// DisableCaches turns the broker's hot-path caches off for the run
 	// (the gridsim -cache=off ablation). Default off = caches on.
 	DisableCaches bool
+	// Intake routes every admission through the broker's group-commit
+	// batch path (SubmitWait): concurrent requests queued behind the same
+	// flush leader land in one allocator pass and one WAL fsync. Default
+	// off keeps the direct RequestService path.
+	Intake bool
+	// Transport selects how clients submit admissions: "" (in-process
+	// calls, the historical harness) or "http" (a loopback JSON-API
+	// server — the compact non-SOAP transport — with each admission a
+	// real POST /api/v1/request; lifecycle operations stay in-process).
+	// Composes with Intake: the server routes admissions via SubmitWait
+	// when the intake is enabled.
+	Transport string
 }
 
 // ParallelResult reports a RunParallel run.
@@ -87,7 +102,30 @@ type ParallelResult struct {
 	// the run. Omitted when the cache saw no traffic (disabled runs keep
 	// the historical schema).
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// Intake reports whether admissions rode the group-commit batch
+	// path; IntakeBatchMean is the mean flushed batch size
+	// (submissions / flushes). Both omitted for direct-path runs so the
+	// historical schema is unchanged.
+	Intake          bool    `json:"intake,omitempty"`
+	IntakeBatchMean float64 `json:"intake_batch_mean,omitempty"`
+	// Transport echoes ParallelConfig.Transport for "http" runs; omitted
+	// for the in-process default so historical reports keep their schema.
+	Transport string `json:"transport,omitempty"`
 }
+
+// Admission paths a parClient can take for its "new request" steps.
+const (
+	// admitDirect calls RequestService — the historical path.
+	admitDirect = iota
+	// admitWait calls SubmitWait: the concurrent group-commit path,
+	// where waiters behind the same flush leader share one allocator
+	// pass. Used by RunParallel's goroutine clients.
+	admitWait
+	// admitQueue calls Submit and defers resolution: the serial
+	// harnesses flush once per round-robin round and then resolve
+	// tickets in schedule order, so batches form deterministically.
+	admitQueue
+)
 
 // parClient is one goroutine client's deterministic schedule and local
 // session bookkeeping.
@@ -95,6 +133,16 @@ type parClient struct {
 	id      int
 	rng     *rand.Rand
 	cluster *Cluster
+
+	// intakeMode selects the admission path (one of the admit*
+	// constants); tickets holds unresolved admitQueue futures between a
+	// round's submits and the harness's flush.
+	intakeMode int
+	tickets    []*core.IntakeTicket
+
+	// http, when set, sends "new request" admissions over the loopback
+	// JSON API instead of in-process calls (ParallelConfig.Transport).
+	http *httpapi.Client
 
 	proposed []sla.ID
 	active   []sla.ID
@@ -135,18 +183,44 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		cfg.Shards = 1
 	}
 	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Shards: cfg.Shards, Obs: cfg.Obs,
-		DisableCaches: cfg.DisableCaches})
+		DisableCaches: cfg.DisableCaches,
+		Intake:        core.IntakeConfig{Enabled: cfg.Intake}})
 	if err != nil {
 		return nil, err
 	}
 	defer cluster.Close()
 
+	mode := admitDirect
+	if cfg.Intake {
+		mode = admitWait
+	}
+	// The http transport serves the JSON API on a loopback listener and
+	// points every client at it: admissions become real POSTs through the
+	// codec, the error taxonomy, and (with Intake) SubmitWait on the
+	// server side, while the rest of the lifecycle stays in-process.
+	var apiClient *httpapi.Client
+	switch cfg.Transport {
+	case "":
+	case "http":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport http: %w", err)
+		}
+		srv := &http.Server{Handler: httpapi.NewServer(cluster.Broker)}
+		go srv.Serve(ln) //nolint:errcheck // shut down via Close below
+		defer srv.Close()
+		apiClient = httpapi.NewClient("http://" + ln.Addr().String())
+	default:
+		return nil, fmt.Errorf("bad transport %q (want \"\" or \"http\")", cfg.Transport)
+	}
 	clients := make([]*parClient, cfg.Clients)
 	for i := range clients {
 		clients[i] = &parClient{
-			id:      i,
-			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
-			cluster: cluster,
+			id:         i,
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			cluster:    cluster,
+			intakeMode: mode,
+			http:       apiClient,
 		}
 	}
 	perPhase := cfg.Ops / (cfg.Clients * cfg.Phases)
@@ -154,7 +228,8 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		perPhase = 1
 	}
 	res := &ParallelResult{Clients: cfg.Clients, Phases: cfg.Phases,
-		Ops: perPhase * cfg.Clients * cfg.Phases, Shards: cfg.Shards}
+		Ops: perPhase * cfg.Clients * cfg.Phases, Shards: cfg.Shards,
+		Transport: cfg.Transport}
 
 	start := time.Now()
 	for phase := 0; phase < cfg.Phases; phase++ {
@@ -170,9 +245,13 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		}
 		wg.Wait()
 		// Quiesce point: nothing in flight, the cross-component
-		// invariants must hold exactly.
+		// invariants must hold exactly — and every submitted admission
+		// must have been flushed (SubmitWait never leaves residue).
 		res.Checks++
 		if err := invariant.CheckAll(cluster.Broker, cluster.Clock.Now(), cluster.Pool); err != nil {
+			return res, fmt.Errorf("phase %d quiesce: %w", phase, err)
+		}
+		if err := invariant.CheckIntake(cluster.Broker); err != nil {
 			return res, fmt.Errorf("phase %d quiesce: %w", phase, err)
 		}
 	}
@@ -204,6 +283,16 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		"Discovery queries that fell through to a registry Find").Value()
 	if hits+misses > 0 {
 		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if cfg.Intake {
+		res.Intake = true
+		submitted := cfg.Obs.Counter("gqosm_intake_submitted_total",
+			"Admissions accepted into the intake queues").Value()
+		flushes := cfg.Obs.Counter("gqosm_intake_flushes_total",
+			"Group-commit flushes executed").Value()
+		if flushes > 0 {
+			res.IntakeBatchMean = float64(submitted) / float64(flushes)
+		}
 	}
 
 	// Drain everything and verify no capacity was lost or double-spent.
@@ -279,9 +368,7 @@ func (c *parClient) step() {
 				AcceptDegradation: (r1>>1)%2 == 0,
 			}
 		}
-		if offer, err := b.RequestService(req); err == nil {
-			c.proposed = append(c.proposed, offer.SLA.ID)
-		}
+		c.request(req)
 	case op == 3: // accept
 		if id, ok := c.pick(&c.proposed, r1); ok {
 			if err := b.Accept(id); err == nil {
@@ -321,6 +408,47 @@ func (c *parClient) step() {
 		}
 		_, _ = b.RunOptimizer()
 	}
+}
+
+// request admits req over the client's configured path and records the
+// proposed SLA. In admitQueue mode the outcome is deferred: the harness
+// flushes the intake once per round and calls resolveTickets.
+func (c *parClient) request(req core.Request) {
+	b := c.cluster.Broker
+	if c.http != nil {
+		// Over the wire the server picks the path (direct vs SubmitWait);
+		// the client just sees an offer or a typed error.
+		if offer, err := c.http.RequestService(req); err == nil {
+			c.proposed = append(c.proposed, sla.ID(offer.SLAID))
+		}
+		return
+	}
+	switch c.intakeMode {
+	case admitWait:
+		if offer, err := b.SubmitWait(req); err == nil {
+			c.proposed = append(c.proposed, offer.SLA.ID)
+		}
+	case admitQueue:
+		if t, err := b.Submit(req); err == nil {
+			c.tickets = append(c.tickets, t)
+		}
+	default:
+		if offer, err := b.RequestService(req); err == nil {
+			c.proposed = append(c.proposed, offer.SLA.ID)
+		}
+	}
+}
+
+// resolveTickets collects this client's queued admission outcomes after
+// a harness-level FlushIntake. Submission order is preserved, so the
+// proposed list grows deterministically under the serial harnesses.
+func (c *parClient) resolveTickets() {
+	for _, t := range c.tickets {
+		if offer, err := t.Wait(); err == nil {
+			c.proposed = append(c.proposed, offer.SLA.ID)
+		}
+	}
+	c.tickets = c.tickets[:0]
 }
 
 // pick removes and returns the r-selected element of *ids.

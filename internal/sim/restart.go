@@ -64,6 +64,12 @@ type RestartChaosConfig struct {
 	WALDir string
 	// Obs receives the run's metrics; nil creates a private registry.
 	Obs *obs.Registry
+	// Intake routes admissions through the group-commit intake, flushed
+	// once per round-robin round as in RunChaos. The intake is always
+	// drained before a kill point, so batched admissions are journaled
+	// (one fsync per batch) before the digest is taken and recovery must
+	// still reproduce the pre-kill state exactly.
+	Intake bool
 }
 
 // RestartResult reports a RunRestartChaos run. Every field except
@@ -79,6 +85,11 @@ type RestartResult struct {
 	Requested  int `json:"requested"`
 	Admitted   int `json:"admitted"`
 	Terminated int `json:"terminated"`
+
+	// Intake / IntakeBatchMean mirror ChaosResult's fields; omitted for
+	// direct-path runs.
+	Intake          bool    `json:"intake,omitempty"`
+	IntakeBatchMean float64 `json:"intake_batch_mean,omitempty"`
 
 	// ReplayedRecords sums WAL records replayed across all recoveries;
 	// SnapshotSeqs lists each recovery's snapshot base sequence.
@@ -251,18 +262,24 @@ func RunRestartChaos(cfg RestartChaosConfig) (*RestartResult, error) {
 		Faults:   inj,
 		RMPolicy: core.RetryPolicy{Attempts: 3, Timeout: 2 * time.Second, Seed: cfg.Seed},
 		WAL:      core.DurabilityConfig{Dir: cfg.WALDir, SnapshotEvery: cfg.SnapshotEvery},
+		Intake:   core.IntakeConfig{Enabled: cfg.Intake},
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer cluster.Close()
 
+	mode := admitDirect
+	if cfg.Intake {
+		mode = admitQueue
+	}
 	clients := make([]*parClient, cfg.Clients)
 	for i := range clients {
 		clients[i] = &parClient{
-			id:      i,
-			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
-			cluster: cluster,
+			id:         i,
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			cluster:    cluster,
+			intakeMode: mode,
 		}
 	}
 	rounds := cfg.Ops / cfg.Clients
@@ -296,12 +313,22 @@ func RunRestartChaos(cfg RestartChaosConfig) (*RestartResult, error) {
 		for _, cl := range clients {
 			cl.step()
 		}
+		if cfg.Intake {
+			// Drain the intake every round, and in particular before any
+			// kill point: queued-but-unflushed admissions are not yet
+			// journaled, so the digest must never see them.
+			cluster.Broker.FlushIntake()
+			for _, cl := range clients {
+				cl.resolveTickets()
+			}
+		}
 		if killed < cfg.Restarts && (round+1)%killEvery == 0 {
 			killed++
 			stage := fmt.Sprintf("restart %d", killed)
 
 			res.Checks++
 			record(stage+" pre-kill", invariant.CheckAll(cluster.Broker, clock.Now(), cluster.Pool))
+			record(stage+" pre-kill", invariant.CheckIntake(cluster.Broker))
 			pre, err := digestBroker(cluster)
 			if err != nil {
 				return res, fmt.Errorf("%s: digest: %w", stage, err)
@@ -377,6 +404,16 @@ func RunRestartChaos(cfg RestartChaosConfig) (*RestartResult, error) {
 	res.WALRecords = appends
 	res.WALSnapshots = snapshots
 	res.RecoveryP95MS = percentileFloat(recoveryMS, 0.95)
+	if cfg.Intake {
+		res.Intake = true
+		submitted := cfg.Obs.Counter("gqosm_intake_submitted_total",
+			"Admissions accepted into the intake queues").Value()
+		flushes := cfg.Obs.Counter("gqosm_intake_flushes_total",
+			"Group-commit flushes executed").Value()
+		if flushes > 0 {
+			res.IntakeBatchMean = float64(submitted) / float64(flushes)
+		}
+	}
 	return res, nil
 }
 

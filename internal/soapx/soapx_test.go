@@ -238,3 +238,99 @@ func readAll(t *testing.T, resp *http.Response) string {
 	}
 	return string(data)
 }
+
+// TestHandleHTTPMethodsOnExactMount: an exact mount owns EVERY method on
+// its path — HEAD and POST route to the mounted handler, never to SOAP
+// dispatch (a POST body on a mounted path must not be parsed as an
+// envelope).
+func TestHandleHTTPMethodsOnExactMount(t *testing.T) {
+	mux := NewMux()
+	mux.Handle("ping", func(body []byte) (any, error) {
+		return &pingResp{Echo: "soap"}, nil
+	})
+	mux.HandleHTTP("/hook", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Handler", "hook")
+		if r.Method != http.MethodHead {
+			w.Write([]byte("hook:" + r.Method))
+		}
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// HEAD reaches the handler (a bare Mux would answer 405 SOAP-fault).
+	resp, err := http.Head(srv.URL + "/hook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Handler") != "hook" {
+		t.Errorf("HEAD /hook = %d handler=%q, want 200 hook", resp.StatusCode, resp.Header.Get("X-Handler"))
+	}
+
+	// POST with a valid SOAP envelope still goes to the HTTP handler:
+	// the mount bypasses envelope parsing entirely.
+	envelope, err := Marshal(&pingReq{Message: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(srv.URL+"/hook", "text/xml", strings.NewReader(string(envelope)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp2); body != "hook:POST" {
+		t.Errorf("POST /hook = %q, want %q", body, "hook:POST")
+	}
+
+	// SOAP POSTs on unmounted paths are still dispatched.
+	c := &Client{Endpoint: srv.URL + "/"}
+	var pr pingResp
+	if err := c.Call(&pingReq{Message: "hi"}, &pr); err != nil || pr.Echo != "soap" {
+		t.Errorf("SOAP beside exact mount: echo=%q err=%v", pr.Echo, err)
+	}
+}
+
+// TestHandleHTTPSubtreeShadowsSOAP: a subtree mount captures SOAP-shaped
+// POSTs under its prefix — mounting a subtree carves that URL space out
+// of SOAP dispatch, which is exactly how the JSON API coexists with the
+// SOAP endpoint on one listener.
+func TestHandleHTTPSubtreeShadowsSOAP(t *testing.T) {
+	mux := NewMux()
+	mux.Handle("ping", func(body []byte) (any, error) {
+		return &pingResp{Echo: "soap"}, nil
+	})
+	mux.HandleHTTP("/api/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("api:" + r.URL.Path))
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// A SOAP envelope POSTed under the subtree lands in the HTTP
+	// handler, not the ping dispatcher.
+	envelope, err := Marshal(&pingReq{Message: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/ping", "text/xml", strings.NewReader(string(envelope)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); body != "api:/api/ping" {
+		t.Errorf("POST under subtree = %q, want %q", body, "api:/api/ping")
+	}
+
+	// The subtree root itself is captured too.
+	resp2, err := http.Get(srv.URL + "/api/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp2); body != "api:/api/" {
+		t.Errorf("GET subtree root = %q, want %q", body, "api:/api/")
+	}
+
+	// Outside the subtree, SOAP dispatch is untouched.
+	c := &Client{Endpoint: srv.URL + "/"}
+	var pr pingResp
+	if err := c.Call(&pingReq{Message: "hi"}, &pr); err != nil || pr.Echo != "soap" {
+		t.Errorf("SOAP beside subtree mount: echo=%q err=%v", pr.Echo, err)
+	}
+}
