@@ -58,6 +58,8 @@ func run() error {
 		walDir     = flag.String("wal-dir", "", "durability directory: lifecycle WAL + snapshots; a restart with the same directory recovers the broker's state")
 		intake     = flag.Bool("intake", false, "enable the group-commit admission intake: concurrent JSON-API admissions share one allocator pass and one WAL fsync per batch")
 		intakeWait = flag.Duration("intake-flush", 0, "with -intake: idle flush interval bounding how long a queued admission waits for company (0 = flush on demand)")
+		policy     = flag.String("policy", "", "adaptation policy (default \"paper\"; see qosctl policies for the registry)")
+		shadowPol  = flag.String("shadow-policy", "", "consult this candidate policy in shadow at every decision point, counting divergence without affecting live decisions")
 		peers      peerFlags
 	)
 	flag.Var(&peers, "peer", "neighboring AQoS endpoint as name=url (repeatable); requests this domain cannot serve are forwarded")
@@ -102,8 +104,10 @@ func run() error {
 			Backoff:  *rmBackoff,
 			Seed:     *faultSeed,
 		},
-		WALDir: *walDir,
-		Intake: gqosm.IntakeConfig{Enabled: *intake, FlushEvery: *intakeWait},
+		WALDir:       *walDir,
+		Intake:       gqosm.IntakeConfig{Enabled: *intake, FlushEvery: *intakeWait},
+		Policy:       *policy,
+		ShadowPolicy: *shadowPol,
 	})
 	if err != nil {
 		return err
@@ -120,6 +124,10 @@ func run() error {
 	mode := "direct"
 	if *intake {
 		mode = "group-commit intake"
+	}
+	if *shadowPol != "" {
+		log.Printf("aqosd: policy %q active, %q consulted in shadow",
+			stack.Broker.PolicyName(), stack.Broker.ShadowPolicyName())
 	}
 	log.Printf("aqosd: domain %q serving SOAP + JSON (/api/v1/) on %s (plan G=%v A=%v B=%v, admission %s)",
 		*domain, *listen, plan.Guaranteed, plan.Adaptive, plan.BestEffort, mode)

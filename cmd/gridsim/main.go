@@ -44,6 +44,7 @@ import (
 	"gqosm/internal/gara"
 	"gqosm/internal/obs"
 	"gqosm/internal/resource"
+	"gqosm/internal/shadow"
 	"gqosm/internal/sim"
 	"gqosm/internal/sla"
 )
@@ -77,6 +78,7 @@ func run(args []string) error {
 		intakeBench = fs.Bool("intake-bench", false, "measure amortized admission cost: direct vs batched intake vs JSON/HTTP transport")
 		scenario    = fs.String("scenario", "", "replay a workload scenario by name ('all' for every scenario, 'list' for the catalog)")
 		soak        = fs.Bool("soak", false, "run -scenario in long-run soak mode: bounded working set, runtime health sampling")
+		shadowPol   = fs.String("shadow", "", "with -scenario: evaluate the named candidate policy in shadow (divergence counts + counterfactual deltas, bench_shadow/v1 with -json)")
 		clusterN    = fs.Int("cluster", 0, "run the multi-broker harness with N broker instances behind the front tier")
 		placement   = fs.String("placement", "hash", "front-tier placement for -cluster: hash|least-loaded")
 	)
@@ -110,7 +112,16 @@ func run(args []string) error {
 		return runCluster(*clusterN, nClients, *shards, *seed, *placement, *jsonOut)
 	}
 	if *scenario != "" {
+		if *shadowPol != "" {
+			if *soak {
+				return fmt.Errorf("-shadow and -soak are mutually exclusive (the shadow lab replays each scenario three times itself)")
+			}
+			return runShadow(*scenario, *shadowPol, *seed, *ops, *shards, *jsonOut)
+		}
 		return runScenarios(*scenario, *soak, *seed, *ops, *shards, *jsonOut)
+	}
+	if *shadowPol != "" {
+		return fmt.Errorf("-shadow needs -scenario")
 	}
 	if *soak {
 		return fmt.Errorf("-soak needs -scenario")
@@ -498,6 +509,57 @@ func runScenarios(name string, soak bool, seed int64, ops, shards int, jsonOut b
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("scenario(s) failed their gates: %s", strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// runShadow is the policy lab's CLI: it evaluates a registered candidate
+// policy over the chosen scenarios (shadow.Run replays each one three
+// times — active, active+shadow, counterfactual) and emits the
+// bench_shadow/v1 report. The report contains no wall-clock fields, so
+// -json output is byte-identical per (candidate, seed, ops, shards). A
+// non-ok verdict exits non-zero AFTER emitting so CI always has the
+// report to gate on.
+func runShadow(name, candidate string, seed int64, ops, shards int, jsonOut bool) error {
+	var list []sim.Scenario
+	if name == "all" {
+		list = sim.Scenarios()
+	} else {
+		sc, ok := sim.LookupScenario(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -scenario list)", name)
+		}
+		list = []sim.Scenario{sc}
+	}
+	rep, err := shadow.Run(list, shadow.Config{Candidate: candidate, Seed: seed, Ops: ops, Shards: shards})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		header("SHADOW", fmt.Sprintf("policy lab: candidate %q vs active \"paper\" (seed %d, ops %d, shards %d)", candidate, seed, ops, shards))
+		for _, sc := range list {
+			sr := rep.Scenarios[sc.Name]
+			fmt.Printf("%-12s evals=%-6d diverged partition=%d optimize=%d ladder=%d placement=%d shadow_clean=%v\n",
+				sc.Name, sr.Evaluations,
+				sr.Divergence["partition"], sr.Divergence["optimize"], sr.Divergence["ladder"], sr.Divergence["placement"],
+				sr.ShadowClean)
+			fmt.Printf("%-12s   counterfactual: admit %.3f->%.3f (%+.3f) revenue %.2f->%.2f (%+.2f) util %.3f->%.3f (%+.3f) verdict=%s\n",
+				"", sr.AdmitRate.Active, sr.AdmitRate.Candidate, sr.AdmitRate.Delta,
+				sr.Revenue.Active, sr.Revenue.Candidate, sr.Revenue.Delta,
+				sr.Utilization.Active, sr.Utilization.Candidate, sr.Utilization.Delta, sr.Verdict)
+			for _, v := range sr.Violations {
+				fmt.Printf("%-12s   violation: %s\n", "", v)
+			}
+		}
+	}
+	if rep.Failed() {
+		return fmt.Errorf("shadow evaluation verdict %q (candidate %s)", rep.Verdict, candidate)
 	}
 	return nil
 }

@@ -212,6 +212,13 @@ type StackConfig struct {
 	// one WAL fsync. The zero value keeps RequestService as the only
 	// admission path.
 	Intake IntakeConfig
+	// Policy names the broker's adaptation policy ("" = "paper", the
+	// historical heuristics). See core.PolicyNames for the registry.
+	Policy string
+	// ShadowPolicy, when set, consults the named candidate policy in
+	// shadow at every broker decision point, counting divergence without
+	// affecting live decisions (qosctl policies shows both).
+	ShadowPolicy string
 }
 
 // Stack is an assembled single-domain deployment: the AQoS broker wired to
@@ -347,6 +354,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		RMPolicy:         cfg.RMPolicy,
 		Durability:       core.DurabilityConfig{Dir: cfg.WALDir, SnapshotEvery: cfg.WALSnapshotEvery},
 		Intake:           cfg.Intake,
+		Policy:           cfg.Policy,
+		ShadowPolicy:     cfg.ShadowPolicy,
 	}
 	// A WAL directory that already holds state means this start is a
 	// RESTART: recover the previous broker's sessions and reconcile

@@ -56,6 +56,84 @@ type Config struct {
 	// HashReplicas is the virtual points per broker on the hash ring
 	// (default 64).
 	HashReplicas int
+	// Policy overrides the routing policy with a custom implementation;
+	// nil derives the built-in policy from Placement.
+	Policy PlacementPolicy
+}
+
+// SlotView describes one cluster member to a PlacementPolicy.
+type SlotView struct {
+	Index  int
+	Domain string
+	// Available is false while the slot is recovering; unavailable slots
+	// must not be routed to.
+	Available bool
+}
+
+// PlacementPolicy ranks the slots an admission should try, placed-first.
+// Implementations must be deterministic for a given view/load state and
+// safe for concurrent use.
+type PlacementPolicy interface {
+	// Name identifies the policy ("hash", "least-loaded", …).
+	Name() string
+	// Route returns slot indices in try-order, available slots only.
+	// load lazily fetches a slot's reported load factor (false when the
+	// slot is unreachable); policies that do not need load — like the
+	// consistent-hash default — must not call it, so routing stays free
+	// of Load round-trips.
+	Route(client string, views []SlotView, load func(int) (float64, bool)) []int
+}
+
+// hashPlacement is the PlaceHash default: consistent-hash order, so a
+// client's admissions land on the same broker run after run.
+type hashPlacement struct{ ring *hashRing }
+
+func (hashPlacement) Name() string { return "hash" }
+
+func (p hashPlacement) Route(client string, views []SlotView, _ func(int) (float64, bool)) []int {
+	var order []int
+	for _, i := range p.ring.order(client, len(views)) {
+		if views[i].Available {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// leastLoadedPlacement is the PlaceLeastLoaded default: ascending
+// reported load factor, ties broken by slot index; slots whose load
+// cannot be fetched are skipped.
+type leastLoadedPlacement struct{}
+
+func (leastLoadedPlacement) Name() string { return "least-loaded" }
+
+func (leastLoadedPlacement) Route(_ string, views []SlotView, load func(int) (float64, bool)) []int {
+	type cand struct {
+		load float64
+		idx  int
+	}
+	cands := make([]cand, 0, len(views))
+	for _, v := range views {
+		if !v.Available {
+			continue
+		}
+		l, ok := load(v.Index)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{load: l, idx: v.Index})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	order := make([]int, 0, len(cands))
+	for _, c := range cands {
+		order = append(order, c.idx)
+	}
+	return order
 }
 
 // ErrNoBrokerAvailable is returned when every slot is recovering or
@@ -68,6 +146,7 @@ type Front struct {
 	cfg   Config
 	slots []*Slot
 	ring  *hashRing
+	pol   PlacementPolicy
 	byDom map[string]int
 
 	mu     sync.Mutex
@@ -101,56 +180,55 @@ func New(cfg Config, slots ...*Slot) (*Front, error) {
 		byDom[s.Domain()] = i
 		domains[i] = s.Domain()
 	}
+	ring := newHashRing(domains, cfg.HashReplicas)
+	pol := cfg.Policy
+	if pol == nil {
+		if cfg.Placement == PlaceLeastLoaded {
+			pol = leastLoadedPlacement{}
+		} else {
+			pol = hashPlacement{ring: ring}
+		}
+	}
 	return &Front{
 		cfg:    cfg,
 		slots:  slots,
-		ring:   newHashRing(domains, cfg.HashReplicas),
+		ring:   ring,
+		pol:    pol,
 		byDom:  byDom,
 		feds:   make(map[int]*fedEntry),
 		owners: make(map[sla.ID]int),
 	}, nil
 }
 
+// PolicyName reports the routing policy in effect.
+func (f *Front) PolicyName() string { return f.pol.Name() }
+
 // Slots returns the cluster members in registration order.
 func (f *Front) Slots() []*Slot { return f.slots }
 
-// route returns the slot indices to try for a client, placed-first.
-// Recovering slots are skipped — the re-route the transient peer gate
-// promises.
+// route returns the slot indices to try for a client, placed-first, as
+// ranked by the placement policy over a snapshot of slot availability.
+// Recovering slots are marked unavailable — the re-route the transient
+// peer gate promises. Out-of-range or unavailable indices from a custom
+// policy are dropped defensively.
 func (f *Front) route(client string) []int {
-	var order []int
-	switch f.cfg.Placement {
-	case PlaceLeastLoaded:
-		type cand struct {
-			load float64
-			idx  int
+	views := make([]SlotView, len(f.slots))
+	for i, s := range f.slots {
+		views[i] = SlotView{Index: i, Domain: s.Domain(), Available: !s.Recovering()}
+	}
+	ranked := f.pol.Route(client, views, func(i int) (float64, bool) {
+		r, err := f.slots[i].Load()
+		if err != nil {
+			return 0, false
 		}
-		cands := make([]cand, 0, len(f.slots))
-		for i, s := range f.slots {
-			if s.Recovering() {
-				continue
-			}
-			r, err := s.Load()
-			if err != nil {
-				continue
-			}
-			cands = append(cands, cand{load: r.Load, idx: i})
+		return r.Load, true
+	})
+	order := make([]int, 0, len(ranked))
+	for _, i := range ranked {
+		if i < 0 || i >= len(f.slots) || !views[i].Available {
+			continue
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].load != cands[b].load {
-				return cands[a].load < cands[b].load
-			}
-			return cands[a].idx < cands[b].idx
-		})
-		for _, c := range cands {
-			order = append(order, c.idx)
-		}
-	default:
-		for _, i := range f.ring.order(client, len(f.slots)) {
-			if !f.slots[i].Recovering() {
-				order = append(order, i)
-			}
-		}
+		order = append(order, i)
 	}
 	return order
 }

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// sloppyPolicy is a custom PlacementPolicy that always prefers a pinned
+// slot and pads its answer with garbage indices, proving (a) Config.Policy
+// overrides the built-ins end to end and (b) the front defensively drops
+// out-of-range and unavailable indices instead of trusting the policy.
+type sloppyPolicy struct{ pin int }
+
+func (sloppyPolicy) Name() string { return "sloppy-pin" }
+
+func (p sloppyPolicy) Route(_ string, views []SlotView, _ func(int) (float64, bool)) []int {
+	return []int{99, -1, p.pin}
+}
+
+func TestFrontCustomPlacementPolicy(t *testing.T) {
+	a := member(t, "node-a", 20)
+	b := member(t, "node-b", 20)
+	front, err := New(Config{Policy: sloppyPolicy{pin: 1}}, NewSlot(a), NewSlot(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := front.PolicyName(); got != "sloppy-pin" {
+		t.Fatalf("PolicyName = %q, want sloppy-pin", got)
+	}
+	for _, client := range []string{"alice", "bob", "carol"} {
+		offer, err := front.RequestService(clusterRequest(client, 2))
+		if err != nil {
+			t.Fatalf("%s: %v", client, err)
+		}
+		if offer.Domain != "node-b" {
+			t.Errorf("%s placed on %q, want node-b (pinned)", client, offer.Domain)
+		}
+		if err := front.Accept(offer.SLA.ID); err != nil {
+			t.Fatalf("accept %s: %v", client, err)
+		}
+	}
+}
+
+// refusalPolicy returns no candidates at all; the front must answer
+// ErrNoBrokerAvailable rather than fall back behind the policy's back.
+type refusalPolicy struct{}
+
+func (refusalPolicy) Name() string { return "refuse-all" }
+
+func (refusalPolicy) Route(string, []SlotView, func(int) (float64, bool)) []int { return nil }
+
+func TestFrontPolicyMayRefuse(t *testing.T) {
+	a := member(t, "node-a", 20)
+	front, err := New(Config{Policy: refusalPolicy{}}, NewSlot(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := front.RequestService(clusterRequest("alice", 2)); !errors.Is(err, ErrNoBrokerAvailable) {
+		t.Fatalf("err = %v, want ErrNoBrokerAvailable", err)
+	}
+}
+
+// TestFrontDefaultPolicyNames pins the derived names so qosctl and the
+// logs stay truthful when no custom policy is installed.
+func TestFrontDefaultPolicyNames(t *testing.T) {
+	a := member(t, "node-a", 20)
+	hash, err := New(Config{}, NewSlot(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hash.PolicyName(); got != "hash" {
+		t.Errorf("default PolicyName = %q, want hash", got)
+	}
+	b := member(t, "node-b", 20)
+	ll, err := New(Config{Placement: PlaceLeastLoaded}, NewSlot(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ll.PolicyName(); got != "least-loaded" {
+		t.Errorf("least-loaded PolicyName = %q, want least-loaded", got)
+	}
+}

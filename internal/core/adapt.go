@@ -117,6 +117,14 @@ type Allocator struct {
 	bestEffort []beAlloc
 	nextSeq    int
 
+	// policy answers Algorithm-1 admissions (never nil; NewAllocator
+	// installs the paper default). shadow, when set, is consulted on the
+	// same immutable PartitionView at every admission; onShadow records
+	// whether its (clamped) answer diverged. Both are read under mu.
+	policy   Policy
+	shadow   Policy
+	onShadow func(family string, diverged bool)
+
 	// view is the atomically published read snapshot: every mutator
 	// recomputes it under mu just before unlocking, so read methods
 	// (Snapshot, Utilization, LoadFactor, AvailableGuaranteed,
@@ -217,11 +225,37 @@ func NewAllocator(plan CapacityPlan) (*Allocator, error) {
 	}
 	a := &Allocator{
 		plan:       plan,
+		policy:     defaultPolicy,
 		guaranteed: make(map[string]resource.Capacity),
 		floors:     make(map[string]resource.Capacity),
 	}
 	a.publishLocked() // no concurrency yet; publish the idle view
 	return a, nil
+}
+
+// SetPolicy installs the active partition policy (nil restores the paper
+// default). Call before serving traffic.
+func (a *Allocator) SetPolicy(p Policy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p == nil {
+		p = defaultPolicy
+	}
+	a.policy = p
+}
+
+// SetShadow installs a candidate policy consulted in shadow at every
+// admission; record receives the divergence verdicts. Passing nil
+// disables shadowing. Record must be cheap and must not call back into
+// the allocator: it runs under a.mu.
+func (a *Allocator) SetShadow(p Policy, record func(family string, diverged bool)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.shadow = p
+	if record == nil {
+		record = func(string, bool) {}
+	}
+	a.onShadow = record
 }
 
 // Plan returns the partition.
@@ -382,15 +416,28 @@ func (a *Allocator) allocateGuaranteedLocked(user string, requested, floor resou
 	gEff := a.effectiveGLocked()
 	bound := a.gBoundLocked()
 
+	view := PartitionView{
+		Plan:       a.plan,
+		Offline:    a.offline,
+		Demand:     base,
+		EffectiveG: gEff,
+		Bound:      bound,
+	}
+	kind := clampGrant(a.policy.PartitionGrant(view, requested, floor), view, requested, floor)
+	if a.shadow != nil {
+		cand := clampGrant(a.shadow.PartitionGrant(view, requested, floor), view, requested, floor)
+		a.onShadow("partition", cand != kind)
+	}
+
 	var res GrantResult
-	switch {
-	case base.Add(requested).FitsIn(bound):
+	switch kind {
+	case GrantRequested:
 		// Σ c(u,t) ≤ C_G: "c(u,t) capacity must be given". When
 		// failures leave Σ c(u,t) > C_G_eff, Adapt() transfers
 		// min(C_A, −net) from A to G — the grant stands either way.
 		res.Granted = requested
 		res.AdaptiveUsed = !base.Add(requested).FitsIn(gEff)
-	case base.Add(floor).FitsIn(bound):
+	case GrantFloor:
 		// The full request exceeds the admission bound: "only g(u)
 		// capacity is given"; the rest is the caller's to re-request
 		// later.
@@ -410,6 +457,23 @@ func (a *Allocator) allocateGuaranteedLocked(user string, requested, floor resou
 	a.guaranteed[user] = res.Granted
 	a.floors[user] = floor
 	return res, nil
+}
+
+// clampGrant demotes a policy's admission answer until it respects the
+// hard ceiling C_G_eff + C_A — the most the shard can physically deliver
+// to guaranteed demand (the invariant oracle's per-shard bound). The
+// paper policy's own bound is a subset of the ceiling, so its answers
+// pass through unchanged; an aggressive candidate can at most be walked
+// down requested → floor → refuse.
+func clampGrant(kind GrantKind, v PartitionView, requested, floor resource.Capacity) GrantKind {
+	ceiling := v.EffectiveG.Add(v.Plan.Adaptive)
+	if kind == GrantRequested && !v.Demand.Add(requested).FitsIn(ceiling) {
+		kind = GrantFloor
+	}
+	if kind == GrantFloor && !v.Demand.Add(floor).FitsIn(ceiling) {
+		kind = GrantRefuse
+	}
+	return kind
 }
 
 // GuaranteedAsk is one member of a batch admission (see

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,6 +124,17 @@ type Config struct {
 	// intake.go). The zero value keeps RequestService as the only
 	// admission path.
 	Intake IntakeConfig
+	// Policy names the registered adaptation policy (see adaptpolicy.go)
+	// driving partition grants, optimizer passes, compensation ladders
+	// and shard placement. Empty selects "paper", the heuristics from
+	// the source paper.
+	Policy string
+	// ShadowPolicy, when set, names a registered candidate policy
+	// consulted at every decision point against the same side-effect-free
+	// view the active policy sees. Divergence is counted in
+	// gqosm_shadow_divergence_total{family}; live decisions are never
+	// affected.
+	ShadowPolicy string
 }
 
 // Event is one entry of the broker activity log (the Fig. 6 console).
@@ -257,6 +269,42 @@ type Broker struct {
 	// ReconcileReservations so a monitor that re-arms early cannot race
 	// the recovery sweep (see recover.go).
 	recovering atomic.Bool
+
+	// policy is the active adaptation policy (never nil); shadowPol is
+	// the shadow candidate, nil unless Config.ShadowPolicy named one.
+	// Both are resolved once in newBroker and immutable afterwards.
+	policy    Policy
+	shadowPol Policy
+
+	// shadowEvals / shadowDiv count shadow consultations and divergences
+	// by decision family; registered only when a shadow policy is
+	// configured so brokers without one expose exactly the historical
+	// metric set.
+	shadowEvals *obs.Counter
+	shadowDiv   map[string]*obs.Counter
+}
+
+// ShadowFamilies are the instrumented decision families, the label values
+// of gqosm_shadow_divergence_total.
+var ShadowFamilies = []string{"ladder", "optimize", "partition", "placement"}
+
+// Help strings for the shadow counters, shared with ShadowCounts so a
+// post-run reader resolves the identical metric.
+const (
+	shadowEvalsHelp = "Shadow policy consultations at live decision points"
+	shadowDivHelp   = "Shadow decisions diverging from the active policy, by decision family"
+)
+
+// ShadowCounts reads the shadow consultation counters back out of a
+// registry after a run (reading a counter that never incremented yields
+// zero — the obs registry creates on first touch).
+func ShadowCounts(reg *obs.Registry) (evals int64, divergence map[string]int64) {
+	evals = reg.Counter("gqosm_shadow_evaluations_total", shadowEvalsHelp).Value()
+	divergence = make(map[string]int64, len(ShadowFamilies))
+	for _, fam := range ShadowFamilies {
+		divergence[fam] = reg.Counter("gqosm_shadow_divergence_total", shadowDivHelp, "family", fam).Value()
+	}
+	return evals, divergence
 }
 
 // NewBroker assembles a broker from the config. When durability is
@@ -320,6 +368,21 @@ func newBroker(cfg Config) (*Broker, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
+	policyName := cfg.Policy
+	if policyName == "" {
+		policyName = "paper"
+	}
+	policy, ok := LookupPolicy(policyName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (registered: %s)", policyName, strings.Join(PolicyNames(), ", "))
+	}
+	var shadowPol Policy
+	if cfg.ShadowPolicy != "" {
+		shadowPol, ok = LookupPolicy(cfg.ShadowPolicy)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown shadow policy %q (registered: %s)", cfg.ShadowPolicy, strings.Join(PolicyNames(), ", "))
+		}
+	}
 	b := &Broker{
 		cfg:            cfg,
 		clock:          cfg.Clock,
@@ -332,6 +395,15 @@ func newBroker(cfg Config) (*Broker, error) {
 		obs:            cfg.Obs,
 		pendingCancels: make(map[sla.ID]gara.Handle),
 		handoffs:       make(map[sla.ID]handoffIntent),
+		policy:         policy,
+		shadowPol:      shadowPol,
+	}
+	if b.shadowPol != nil {
+		b.shadowEvals = b.obs.Counter("gqosm_shadow_evaluations_total", shadowEvalsHelp)
+		b.shadowDiv = make(map[string]*obs.Counter, len(ShadowFamilies))
+		for _, fam := range ShadowFamilies {
+			b.shadowDiv[fam] = b.obs.Counter("gqosm_shadow_divergence_total", shadowDivHelp, "family", fam)
+		}
 	}
 	b.pol = newPolicyRunner(b, cfg.RMPolicy)
 	if !cfg.DisableCaches {
@@ -343,6 +415,10 @@ func newBroker(cfg Config) (*Broker, error) {
 		alloc, err := NewAllocator(plan)
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		alloc.SetPolicy(b.policy)
+		if b.shadowPol != nil {
+			alloc.SetShadow(b.shadowPol, b.recordShadow)
 		}
 		b.shards = append(b.shards, &shard{
 			index:      i,
@@ -397,6 +473,51 @@ func (b *Broker) Close() {
 // experiments snapshot pool usage through it). Single-shard brokers — the
 // default — have exactly one; multi-shard callers use Allocators.
 func (b *Broker) Allocator() *Allocator { return b.shards[0].alloc }
+
+// recordShadow counts one shadow consultation in the given decision
+// family. It is called with allocator or shard locks held, so it only
+// touches atomic counters. Nil-safe: a broker without a shadow policy
+// never registers the counters and the nil *obs.Counter receivers no-op.
+func (b *Broker) recordShadow(family string, diverged bool) {
+	if b.shadowEvals == nil {
+		return
+	}
+	b.shadowEvals.Inc()
+	if diverged {
+		if c, ok := b.shadowDiv[family]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// PolicyName reports the active adaptation policy.
+func (b *Broker) PolicyName() string { return b.policy.Name() }
+
+// ShadowPolicyName reports the shadow candidate, or "" when shadowing is
+// off.
+func (b *Broker) ShadowPolicyName() string {
+	if b.shadowPol == nil {
+		return ""
+	}
+	return b.shadowPol.Name()
+}
+
+// PolicyReport describes the broker's policy configuration for the
+// management API (qosctl policies).
+type PolicyReport struct {
+	Active   string   `json:"active"`
+	Shadow   string   `json:"shadow,omitempty"`
+	Policies []string `json:"policies"`
+}
+
+// Policies returns the active/shadow policy names plus the full registry.
+func (b *Broker) Policies() PolicyReport {
+	return PolicyReport{
+		Active:   b.PolicyName(),
+		Shadow:   b.ShadowPolicyName(),
+		Policies: PolicyNames(),
+	}
+}
 
 // Domain returns the administrative domain the broker serves.
 func (b *Broker) Domain() string { return b.cfg.Domain }

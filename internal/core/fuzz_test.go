@@ -328,3 +328,41 @@ func FuzzBrokerOps(f *testing.F) {
 		driveShardedOps(t, shards, data[1:])
 	})
 }
+
+// FuzzPolicyDecisions lets the fuzzer search for an operation stream on
+// which consulting a shadow policy changes live behavior — the property
+// the shadow-inertness invariant forbids. Each input is run twice, with
+// shadowing off and on, and every externally visible outcome (plus the
+// final capacity accounting) must match; the invariant oracle runs after
+// each step of both runs. The candidate pool includes test-mutator, a
+// policy that scribbles on every view it is handed, so a state leak in
+// the cloning layer is caught even if the honest candidates never
+// trigger it. go test -fuzz=FuzzPolicyDecisions ./internal/core
+//
+// data[0] selects the candidate, data[1] the shard count (1–3), and the
+// rest is the driveOps/driveShardedOps op stream.
+func FuzzPolicyDecisions(f *testing.F) {
+	f.Add(append([]byte{0, 0}, seedStream(1955, 40)...))
+	f.Add(append([]byte{1, 0}, seedStream(2003, 40)...))
+	f.Add(append([]byte{2, 0}, seedStream(1789, 40)...))
+	// Saturate the guaranteed partition so revenue-greedy diverges on the
+	// partition family while the paper policy keeps refusing.
+	f.Add(append([]byte{0, 0}, 0, 0x0e, 3, 0, 0, 0x0e, 3, 0, 0, 0x0e, 3, 0, 0, 0x0e))
+	// Degrade-willing sessions under failure pressure: a compensation
+	// ladder with several rungs, where upgrade-last reorders.
+	f.Add(append([]byte{1, 0}, 1, 0xa7, 1, 0xa5, 1, 0xa3, 3, 0, 3, 0, 3, 0, 8, 8, 8, 12))
+	// The mutator on a sharded broker: placement views are copied too.
+	f.Add(append([]byte{2, 2}, seedStream(1955, 40)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		if len(data) < 2 {
+			return
+		}
+		candidates := []string{"revenue-greedy", "upgrade-last", "test-mutator"}
+		candidate := candidates[int(data[0])%len(candidates)]
+		shards := 1 + int(data[1])%3
+		driveTwin(t, candidate, shards, data[2:])
+	})
+}

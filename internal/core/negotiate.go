@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -372,25 +371,20 @@ func (b *Broker) discover(req Request, floor resource.Capacity) (registry.Key, e
 // sessions admitted on sh can return capacity to sh's partition.
 func (b *Broker) compensate(sh *shard, needed resource.Capacity) (bool, error) {
 	sh.mu.Lock()
-	// Snapshot everything the sort below reads while sh.mu is held: the
-	// documents stay owned by the shard and may be mutated (price, state)
-	// by concurrent lifecycle calls once the lock is released.
-	type target struct {
-		id        sla.ID
-		price     float64
-		recovered resource.Capacity
-	}
-	var degradable, terminable []target
+	// Snapshot everything the ladder ordering reads while sh.mu is held:
+	// the documents stay owned by the shard and may be mutated (price,
+	// state) by concurrent lifecycle calls once the lock is released.
+	var degradable, terminable []LadderTarget
 	for id, s := range sh.sessions {
 		if s.doc.State != sla.StateActive && s.doc.State != sla.StateEstablished {
 			continue
 		}
 		floor := s.doc.Spec.Floor()
 		if s.doc.Adapt.AcceptDegradation && !s.doc.Allocated.Sub(floor).ClampMin(resource.Capacity{}).IsZero() {
-			degradable = append(degradable, target{id: id, price: s.doc.Price, recovered: s.doc.Allocated.Sub(floor)})
+			degradable = append(degradable, LadderTarget{ID: id, Price: s.doc.Price, Recovered: s.doc.Allocated.Sub(floor)})
 		}
 		if s.doc.Adapt.AcceptTermination {
-			terminable = append(terminable, target{id: id, price: s.doc.Price, recovered: s.doc.Allocated})
+			terminable = append(terminable, LadderTarget{ID: id, Price: s.doc.Price, Recovered: s.doc.Allocated})
 		}
 	}
 	sh.mu.Unlock()
@@ -399,15 +393,19 @@ func (b *Broker) compensate(sh *shard, needed resource.Capacity) (bool, error) {
 		return false, fmt.Errorf("core: no active SLA accepts degradation or termination")
 	}
 
-	// Degrade the cheapest (least revenue) first to minimize provider
-	// impact; deterministic order by (price, id).
-	sortTargets := func(ts []target) {
-		sort.Slice(ts, func(i, j int) bool {
-			if ts[i].price != ts[j].price {
-				return ts[i].price < ts[j].price
-			}
-			return ts[i].id < ts[j].id
-		})
+	// The policy decides the victim order (the paper's: cheapest first by
+	// (price, id), minimizing provider impact). The shadow candidate sorts
+	// its own copy of the pre-sort ladder so the comparison is
+	// order-independent and side-effect-free.
+	sortTargets := func(ts []LadderTarget) {
+		if b.shadowPol != nil && len(ts) > 1 {
+			cand := append([]LadderTarget(nil), ts...)
+			b.shadowPol.CompensationOrder(cand)
+			b.policy.CompensationOrder(ts)
+			b.recordShadow("ladder", !sameLadderOrder(ts, cand))
+			return
+		}
+		b.policy.CompensationOrder(ts)
 	}
 	sortTargets(degradable)
 	sortTargets(terminable)
@@ -417,7 +415,7 @@ func (b *Broker) compensate(sh *shard, needed resource.Capacity) (bool, error) {
 		if needed.FitsIn(sh.alloc.AvailableGuaranteed()) {
 			break
 		}
-		if err := b.degradeToFloor(t.id); err == nil {
+		if err := b.degradeToFloor(t.ID); err == nil {
 			freed = true
 		}
 	}
@@ -428,7 +426,7 @@ func (b *Broker) compensate(sh *shard, needed resource.Capacity) (bool, error) {
 		// Tear down without the scenario-2 hook: running it here would
 		// restore the volunteers degraded above and hand the freed
 		// capacity straight back.
-		if err := b.terminateForCompensation(t.id); err == nil {
+		if err := b.terminateForCompensation(t.ID); err == nil {
 			freed = true
 		}
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"sync"
 
 	"gqosm/internal/pricing"
@@ -79,54 +78,59 @@ func (b *Broker) shardFor(id sla.ID) *shard {
 }
 
 // placementOrder returns the shards to try for a new admission, most
-// attractive first: least-loaded by Allocator.LoadFactor with ties broken
-// by ascending shard index, so placement is deterministic for a given
-// load state. A non-zero 1-based hint moves that shard to the front (the
-// fallback chain still follows). With more than one shard, shards whose
-// admission bound can never fit the request floor are filtered out —
-// compensation frees allocations but cannot raise the bound, so attempting
-// them would only degrade innocent sessions for nothing; when every shard
-// is hopeless the least-loaded one is returned alone so the caller still
+// attractive first. The ranking and floor filter are delegated to the
+// active policy's Place (the paper's: least-loaded by
+// Allocator.LoadFactor with ties broken by ascending shard index, shards
+// whose admission bound can never fit the request floor dropped —
+// compensation frees allocations but cannot raise the bound). The
+// structural rules stay here: a non-zero 1-based hint moves that shard to
+// the front even when hopeless (an explicit hint is a request to try that
+// shard, and its refusal is informative), and when every shard is
+// hopeless the least-loaded one is returned alone so the caller still
 // gets the allocator's precise refusal.
 func (b *Broker) placementOrder(hint int, floor resource.Capacity) []*shard {
 	if len(b.shards) == 1 {
 		return b.shards
 	}
-	loads := make([]float64, len(b.shards))
+	views := make([]PlacementView, len(b.shards))
 	for _, sh := range b.shards {
-		loads[sh.index] = sh.alloc.LoadFactor()
-	}
-	ranked := make([]*shard, len(b.shards))
-	copy(ranked, b.shards)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		li, lj := loads[ranked[i].index], loads[ranked[j].index]
-		if li != lj {
-			return li < lj
+		views[sh.index] = PlacementView{
+			Index:      sh.index,
+			LoadFactor: sh.alloc.LoadFactor(),
+			Bound:      sh.alloc.AdmissionBound(),
 		}
-		return ranked[i].index < ranked[j].index
-	})
+	}
+	ranked := b.policy.Place(views, floor)
+	if b.shadowPol != nil {
+		cand := b.shadowPol.Place(append([]PlacementView(nil), views...), floor)
+		b.recordShadow("placement", !sameOrder(ranked, cand))
+	}
 	var hinted *shard
 	if hint >= 1 && hint <= len(b.shards) {
 		hinted = b.shards[hint-1]
 	}
-	out := make([]*shard, 0, len(ranked))
+	out := make([]*shard, 0, len(ranked)+1)
 	if hinted != nil {
-		// The hinted shard goes first even when hopeless: an explicit
-		// hint is a request to try that shard, and its refusal is
-		// informative.
 		out = append(out, hinted)
 	}
-	for _, sh := range ranked {
-		if sh == hinted {
-			continue
+	for _, idx := range ranked {
+		if idx < 0 || idx >= len(b.shards) {
+			continue // defensive: a policy ranking outside the shard set
 		}
-		if !floor.FitsIn(sh.alloc.AdmissionBound()) {
+		sh := b.shards[idx]
+		if sh == hinted {
 			continue
 		}
 		out = append(out, sh)
 	}
 	if len(out) == 0 {
-		out = append(out, ranked[0])
+		best := 0
+		for i := 1; i < len(views); i++ {
+			if views[i].LoadFactor < views[best].LoadFactor {
+				best = i
+			}
+		}
+		out = append(out, b.shards[best])
 	}
 	return out
 }

@@ -184,3 +184,13 @@ func (c *Client) LoadReport() (core.LoadReport, error) {
 	}
 	return out, nil
 }
+
+// Policies fetches the broker's adaptation-policy configuration: the
+// active policy, the shadow candidate (if any), and the registry.
+func (c *Client) Policies() (core.PolicyReport, error) {
+	var out core.PolicyReport
+	if err := c.call(http.MethodGet, "policies", nil, &out); err != nil {
+		return core.PolicyReport{}, err
+	}
+	return out, nil
+}

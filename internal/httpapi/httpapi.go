@@ -30,7 +30,7 @@ const maxBody = 1 << 20
 // ops enumerates the API's operations; per-op request counters are
 // pre-registered so the hot path pays one map lookup, no registry lock.
 var ops = []string{"request", "accept", "reject", "invoke", "terminate",
-	"renegotiate", "best-effort", "session", "load"}
+	"renegotiate", "best-effort", "session", "load", "policies"}
 
 // Server serves the JSON API for one broker.
 type Server struct {
@@ -93,6 +93,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.writeBody(w, http.StatusOK, marshalJSON(s.b.LoadReport()))
+	case "policies":
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.writeBody(w, http.StatusOK, marshalJSON(s.b.Policies()))
 	default:
 		s.writeError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path)
 	}

@@ -198,3 +198,48 @@ func TestMountBesideSOAP(t *testing.T) {
 		t.Errorf("cross-transport session mismatch: %q vs %q", sess.SLAID, offer.SLA.SLAID)
 	}
 }
+
+// TestWirePolicies round-trips the policy registry over the JSON
+// transport: active policy, shadow candidate, and the sorted registry
+// listing qosctl prints.
+func TestWirePolicies(t *testing.T) {
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Plan:         sim.DefaultParallelPlan(),
+		Policy:       "revenue-greedy",
+		ShadowPolicy: "upgrade-last",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mux := soapx.NewMux()
+	httpapi.NewServer(c.Broker).Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	client := httpapi.NewClient(srv.URL)
+
+	rep, err := client.Policies()
+	if err != nil {
+		t.Fatalf("Policies: %v", err)
+	}
+	if rep.Active != "revenue-greedy" || rep.Shadow != "upgrade-last" {
+		t.Errorf("policies = %+v", rep)
+	}
+	want := map[string]bool{"paper": true, "revenue-greedy": true, "upgrade-last": true}
+	for _, name := range rep.Policies {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Errorf("registry listing %v is missing %v", rep.Policies, want)
+	}
+
+	// The endpoint is GET-only.
+	resp, err := http.Post(srv.URL+httpapi.Prefix+"policies", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST policies status = %d, want 405", resp.StatusCode)
+	}
+}

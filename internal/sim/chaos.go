@@ -58,6 +58,11 @@ type ChaosConfig struct {
 	// deterministically (up to Clients admissions per shard per flush).
 	// The run stays bit-identical per (Seed, FaultRate, Shards, Intake).
 	Intake bool
+	// Policy names the broker's adaptation policy ("" = "paper").
+	Policy string
+	// ShadowPolicy consults the named candidate policy in shadow at
+	// every broker decision point.
+	ShadowPolicy string
 }
 
 // ChaosResult reports a RunChaos run. Every field is deterministic for
@@ -163,8 +168,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		// clock, and a backoff sleep would park forever with nobody
 		// advancing time. Timed-out hang attempts charge the 2 s
 		// deadline to the virtual latency accounting instead.
-		RMPolicy: core.RetryPolicy{Attempts: 3, Timeout: 2 * time.Second, Seed: cfg.Seed},
-		Intake:   core.IntakeConfig{Enabled: cfg.Intake},
+		RMPolicy:     core.RetryPolicy{Attempts: 3, Timeout: 2 * time.Second, Seed: cfg.Seed},
+		Intake:       core.IntakeConfig{Enabled: cfg.Intake},
+		Policy:       cfg.Policy,
+		ShadowPolicy: cfg.ShadowPolicy,
 	})
 	if err != nil {
 		return nil, err

@@ -80,6 +80,12 @@ type ClusterConfig struct {
 	// admission pipeline (Submit/SubmitWait/FlushIntake). The zero value
 	// keeps RequestService as the only admission path.
 	Intake core.IntakeConfig
+	// Policy forwarded to the broker: names the adaptation policy
+	// ("" = "paper").
+	Policy string
+	// ShadowPolicy forwarded to the broker: names the candidate policy
+	// consulted in shadow at every decision point.
+	ShadowPolicy string
 }
 
 // Cluster is an assembled in-process G-QoSM deployment: the Fig. 5
@@ -199,6 +205,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		RMPolicy:         cfg.RMPolicy,
 		Durability:       cfg.WAL,
 		Intake:           cfg.Intake,
+		Policy:           cfg.Policy,
+		ShadowPolicy:     cfg.ShadowPolicy,
 	}
 	broker, err := core.NewBroker(brokerCfg)
 	if err != nil {

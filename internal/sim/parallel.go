@@ -61,6 +61,11 @@ type ParallelConfig struct {
 	// Composes with Intake: the server routes admissions via SubmitWait
 	// when the intake is enabled.
 	Transport string
+	// Policy names the broker's adaptation policy ("" = "paper").
+	Policy string
+	// ShadowPolicy consults the named candidate policy in shadow at
+	// every broker decision point.
+	ShadowPolicy string
 }
 
 // ParallelResult reports a RunParallel run.
@@ -184,7 +189,9 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	}
 	cluster, err := NewCluster(ClusterConfig{Plan: cfg.Plan, Shards: cfg.Shards, Obs: cfg.Obs,
 		DisableCaches: cfg.DisableCaches,
-		Intake:        core.IntakeConfig{Enabled: cfg.Intake}})
+		Intake:        core.IntakeConfig{Enabled: cfg.Intake},
+		Policy:        cfg.Policy,
+		ShadowPolicy:  cfg.ShadowPolicy})
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,11 @@ type ScenarioConfig struct {
 	// the soak harness's working-set bound. Off by default so short
 	// runs keep full post-mortem state.
 	Prune bool
+	// Policy names the broker's adaptation policy ("" = "paper").
+	Policy string
+	// ShadowPolicy, when set, consults the named candidate policy in
+	// shadow at every broker decision point (see core.Config.ShadowPolicy).
+	ShadowPolicy string
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -317,6 +322,27 @@ func RunScenario(sc Scenario, cfg ScenarioConfig) (*ScenarioReport, error) {
 	return run.Report, nil
 }
 
+// RunScenarioObserved is RunScenario with the soak harness's quiesce hook
+// exposed: afterQuiesce (when non-nil) runs at every phase barrier with
+// the live run, letting a caller sample mid-run state — the shadow lab
+// uses it to average allocator utilization across phases.
+func RunScenarioObserved(sc Scenario, cfg ScenarioConfig, afterQuiesce func(run *ScenarioRun, phase int)) (*ScenarioReport, error) {
+	run, err := newScenarioRun(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Cluster.Close()
+	var hook func(int)
+	if afterQuiesce != nil {
+		hook = func(phase int) { afterQuiesce(run, phase) }
+	}
+	if err := run.play(sc, hook); err != nil {
+		return run.Report, err
+	}
+	run.finish(sc)
+	return run.Report, nil
+}
+
 func newScenarioRun(sc Scenario, cfg ScenarioConfig) (*ScenarioRun, error) {
 	cfg = cfg.withDefaults()
 	confirm := sc.ConfirmWindow
@@ -330,6 +356,8 @@ func newScenarioRun(sc Scenario, cfg ScenarioConfig) (*ScenarioRun, error) {
 		ConfirmWindow: confirm,
 		Obs:           cfg.Obs,
 		Clock:         clock,
+		Policy:        cfg.Policy,
+		ShadowPolicy:  cfg.ShadowPolicy,
 	})
 	if err != nil {
 		return nil, err
